@@ -1,0 +1,59 @@
+// Command omxbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	omxbench -run table1            # one experiment
+//	omxbench -run fig4,fig5,table4  # several
+//	omxbench -run all               # everything (minutes at full scale)
+//	omxbench -quick                 # reduced durations (for CI)
+//	omxbench -list                  # available experiments
+//	omxbench -csv                   # CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"openmxsim/internal/exp"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	quick := flag.Bool("quick", false, "reduced durations/iterations")
+	seed := flag.Uint64("seed", 1, "simulation seed (equal seeds reproduce bit-identical results)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Printf("%-16s %s\n", id, exp.Describe(id))
+		}
+		return
+	}
+
+	ids := exp.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	opts := exp.Options{Seed: *seed, Quick: *quick}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, err := exp.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep := runner(opts)
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Println(rep)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,97 @@
+// Command omxsim runs a single custom scenario: a workload (pingpong, rate,
+// or a NAS benchmark) under a chosen coalescing strategy and host
+// configuration, printing the measurements and interrupt statistics.
+//
+// Examples:
+//
+//	omxsim -workload pingpong -strategy openmx -size 128
+//	omxsim -workload rate -strategy disabled -size 0
+//	omxsim -workload nas -bench is -class B -ranks 16 -strategy stream
+//	omxsim -workload pingpong -strategy timeout -delay 30 -irq single -nosleep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/exp"
+	"openmxsim/internal/host"
+	"openmxsim/internal/nas"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/units"
+)
+
+func main() {
+	workload := flag.String("workload", "pingpong", "pingpong | rate | nas")
+	strategy := flag.String("strategy", "timeout", "disabled | timeout | openmx | stream | adaptive")
+	delay := flag.Int("delay", 75, "coalescing delay in microseconds")
+	size := flag.Int("size", 128, "message size in bytes (pingpong/rate)")
+	iters := flag.Int("iters", 30, "ping-pong iterations")
+	bench := flag.String("bench", "is", "NAS benchmark name")
+	class := flag.String("class", "W", "NAS class (S W A B C)")
+	ranks := flag.Int("ranks", 16, "NAS rank count")
+	irq := flag.String("irq", "all", "IRQ routing: all | single | perqueue")
+	queues := flag.Int("queues", 1, "NIC receive queues")
+	nosleep := flag.Bool("nosleep", false, "disable C1E idle sleep")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	st, err := nic.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := cluster.Paper()
+	cfg.Seed = *seed
+	cfg.Strategy = st
+	cfg.CoalesceDelay = sim.Time(*delay) * sim.Microsecond
+	cfg.SleepDisabled = *nosleep
+	cfg.Queues = *queues
+	switch *irq {
+	case "all":
+		cfg.IRQPolicy = host.IRQRoundRobin
+	case "single":
+		cfg.IRQPolicy = host.IRQSingleCore
+	case "perqueue":
+		cfg.IRQPolicy = host.IRQPerQueue
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -irq %q\n", *irq)
+		os.Exit(1)
+	}
+
+	switch *workload {
+	case "pingpong":
+		lat, err := exp.PingPongLatency(cfg, []int{*size}, *iters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("one-way %s latency: %s (%s, delay %dus, irq %s)\n",
+			units.FormatBytes(*size), units.FormatDuration(lat[*size]), st, *delay, *irq)
+	case "rate":
+		rate := exp.MessageRate(cfg, *size, 20*sim.Millisecond, 100*sim.Millisecond)
+		fmt.Printf("message rate %s: %s msg/s (%s, delay %dus, irq %s)\n",
+			units.FormatBytes(*size), units.FormatRate(rate), st, *delay, *irq)
+	case "nas":
+		wl, err := nas.Get(*bench, (*class)[0], *ranks)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := nas.Run(cfg, wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s, %s interrupts, %d wakeups, %d packets (%s)\n",
+			res.Workload, units.FormatDuration(res.Elapsed),
+			units.FormatCount(float64(res.Interrupts)), res.Wakeups,
+			res.PacketsDelivered, st)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -workload %q\n", *workload)
+		os.Exit(1)
+	}
+}

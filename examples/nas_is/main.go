@@ -1,0 +1,50 @@
+// NAS IS: the paper's headline application result. Runs the NAS Integer
+// Sort communication kernel (16 ranks on 2 nodes) under all four
+// coalescing strategies and reports execution time and interrupt counts —
+// Tables IV and V for the IS rows.
+//
+// Class W by default so it finishes in seconds; pass -class B for the
+// paper's smaller configuration (minutes of virtual time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"openmxsim"
+)
+
+func main() {
+	class := flag.String("class", "W", "NAS class: S W A B C")
+	flag.Parse()
+
+	fmt.Printf("NAS IS class %s, 16 ranks on 2 nodes\n", *class)
+	fmt.Printf("%-22s %12s %14s %10s\n", "strategy", "time(s)", "interrupts", "wakeups")
+
+	var base float64
+	for _, s := range []struct {
+		name     string
+		strategy openmxsim.Strategy
+	}{
+		{"timeout 75us (default)", openmxsim.StrategyTimeout},
+		{"disabled", openmxsim.StrategyDisabled},
+		{"open-mx", openmxsim.StrategyOpenMX},
+		{"stream", openmxsim.StrategyStream},
+	} {
+		cfg := openmxsim.PaperPlatform()
+		cfg.Strategy = s.strategy
+		res, err := openmxsim.RunNAS(cfg, "is", (*class)[0], 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		secs := float64(res.Elapsed) / 1e9
+		note := ""
+		if base == 0 {
+			base = secs
+		} else {
+			note = fmt.Sprintf("  (%+.1f%% vs default)", 100*(base-secs)/base)
+		}
+		fmt.Printf("%-22s %12.3f %14d %10d%s\n", s.name, secs, res.Interrupts, res.Wakeups, note)
+	}
+}

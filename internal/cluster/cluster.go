@@ -1,0 +1,141 @@
+// Package cluster wires complete simulated testbeds: N hosts with their
+// cores, NICs with a chosen coalescing strategy, the switch between them,
+// and an Open-MX stack per node — the equivalent of the paper's two
+// dual-socket quad-core Xeon nodes with Myri-10G NICs.
+package cluster
+
+import (
+	"fmt"
+
+	"openmxsim/internal/fabric"
+	"openmxsim/internal/host"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/omx"
+	"openmxsim/internal/params"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/wire"
+)
+
+// Config describes a testbed.
+type Config struct {
+	// Nodes is the host count (paper: 2).
+	Nodes int
+	// Strategy and CoalesceDelay select the NIC interrupt behaviour.
+	Strategy      nic.Strategy
+	CoalesceDelay sim.Time
+	// MaxFrames is the optional rx-frames coalescing bound.
+	MaxFrames int
+	// Queues > 1 enables the multiqueue extension.
+	Queues int
+	// IRQPolicy and IRQCore set interrupt routing (default round-robin).
+	IRQPolicy host.IRQPolicy
+	IRQCore   int
+	// SleepDisabled keeps idle cores out of C1E ("Sleeping disabled").
+	SleepDisabled bool
+	// Seed drives all stochastic elements; equal seeds reproduce runs
+	// bit for bit.
+	Seed uint64
+	// Params overrides the calibrated defaults when non-nil.
+	Params *params.Params
+	// Mark overrides the sender marking policy when non-nil.
+	Mark *omx.MarkPolicy
+	// Fault installs network fault injection.
+	Fault *fabric.Fault
+}
+
+// Paper returns the paper's evaluation platform: two 8-core nodes, default
+// 75 us timeout coalescing, round-robin IRQs, sleep enabled.
+func Paper() Config {
+	return Config{
+		Nodes:         2,
+		Strategy:      nic.StrategyTimeout,
+		CoalesceDelay: 75 * sim.Microsecond,
+		Seed:          1,
+	}
+}
+
+// Cluster is a wired testbed.
+type Cluster struct {
+	Cfg    Config
+	Eng    *sim.Engine
+	P      *params.Params
+	Switch *fabric.Switch
+	Hosts  []*host.Host
+	NICs   []*nic.NIC
+	Stacks []*omx.Stack
+	RNG    *sim.RNG
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("cluster: need at least one node")
+	}
+	p := cfg.Params
+	if p == nil {
+		p = params.Default()
+	}
+	if cfg.SleepDisabled {
+		p = p.Clone()
+		p.Host.SleepEnabled = false
+	}
+	eng := sim.NewEngine()
+	rng := sim.NewRNG(cfg.Seed)
+	sw := fabric.NewSwitch(eng, p.Link, rng.Derive(0xFA))
+	if cfg.Fault != nil {
+		sw.SetFault(cfg.Fault)
+	}
+
+	c := &Cluster{Cfg: cfg, Eng: eng, P: p, Switch: sw, RNG: rng}
+	for i := 0; i < cfg.Nodes; i++ {
+		h := host.New(eng, i, p.Host)
+		h.SetIRQPolicy(cfg.IRQPolicy, cfg.IRQCore)
+		n := nic.New(eng, p, h, sw, wire.NodeMAC(i), nic.Config{
+			Strategy:  cfg.Strategy,
+			Delay:     cfg.CoalesceDelay,
+			MaxFrames: cfg.MaxFrames,
+			Queues:    cfg.Queues,
+		})
+		s := omx.NewStack(eng, p, h, n, rng.Derive(uint64(0xC0+i)))
+		if cfg.Mark != nil {
+			s.Mark = *cfg.Mark
+		}
+		c.Hosts = append(c.Hosts, h)
+		c.NICs = append(c.NICs, n)
+		c.Stacks = append(c.Stacks, s)
+	}
+	return c
+}
+
+// OpenEndpoints opens ranksPerNode endpoints on every node, pinning rank r
+// to node r/ranksPerNode, core (r mod ranksPerNode) mod cores, endpoint id
+// r mod ranksPerNode — the paper's "8 processes per node (one per core)".
+func (c *Cluster) OpenEndpoints(ranksPerNode int) []*omx.Endpoint {
+	if ranksPerNode <= 0 {
+		panic("cluster: ranksPerNode must be positive")
+	}
+	var eps []*omx.Endpoint
+	for node := 0; node < c.Cfg.Nodes; node++ {
+		h := c.Hosts[node]
+		for i := 0; i < ranksPerNode; i++ {
+			core := h.Cores[i%len(h.Cores)]
+			eps = append(eps, c.Stacks[node].Open(uint8(i), core))
+		}
+	}
+	return eps
+}
+
+// Interrupts sums interrupts raised across all NICs ("on both sides", as
+// Table II counts them).
+func (c *Cluster) Interrupts() uint64 {
+	var total uint64
+	for _, n := range c.NICs {
+		total += n.Stats.Interrupts
+	}
+	return total
+}
+
+// String describes the cluster.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster(%d nodes, %v, irq=%v)", c.Cfg.Nodes, c.NICs[0].Strategy(), c.Hosts[0].IRQPolicy())
+}

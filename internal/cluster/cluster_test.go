@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"testing"
+
+	"openmxsim/internal/host"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/sim"
+)
+
+func TestPaperConfig(t *testing.T) {
+	cfg := Paper()
+	if cfg.Nodes != 2 {
+		t.Errorf("nodes = %d", cfg.Nodes)
+	}
+	if cfg.Strategy != nic.StrategyTimeout {
+		t.Errorf("strategy = %v", cfg.Strategy)
+	}
+	if cfg.CoalesceDelay != 75*sim.Microsecond {
+		t.Errorf("delay = %v", cfg.CoalesceDelay)
+	}
+}
+
+func TestNewWiresEverything(t *testing.T) {
+	c := New(Paper())
+	if len(c.Hosts) != 2 || len(c.NICs) != 2 || len(c.Stacks) != 2 {
+		t.Fatalf("wiring: %d hosts %d nics %d stacks", len(c.Hosts), len(c.NICs), len(c.Stacks))
+	}
+	if len(c.Hosts[0].Cores) != 8 {
+		t.Errorf("cores = %d, want 8 (dual-socket quad-core)", len(c.Hosts[0].Cores))
+	}
+	if c.NICs[0].MAC() == c.NICs[1].MAC() {
+		t.Error("NICs share a MAC")
+	}
+}
+
+func TestOpenEndpointsPlacement(t *testing.T) {
+	c := New(Paper())
+	eps := c.OpenEndpoints(8)
+	if len(eps) != 16 {
+		t.Fatalf("endpoints = %d", len(eps))
+	}
+	// Rank 0 on node 0 core 0; rank 8 is the first rank of node 1.
+	if eps[0].Addr().MAC != c.NICs[0].MAC() {
+		t.Error("rank 0 not on node 0")
+	}
+	if eps[8].Addr().MAC != c.NICs[1].MAC() {
+		t.Error("rank 8 not on node 1")
+	}
+	if eps[0].Core().ID != 0 || eps[15].Core().ID != 7 {
+		t.Errorf("core pinning: rank0->%d rank15->%d", eps[0].Core().ID, eps[15].Core().ID)
+	}
+}
+
+func TestSleepDisabledPropagates(t *testing.T) {
+	cfg := Paper()
+	cfg.SleepDisabled = true
+	c := New(cfg)
+	if c.P.Host.SleepEnabled {
+		t.Error("SleepDisabled did not reach host params")
+	}
+	// The shared default params must not have been mutated.
+	c2 := New(Paper())
+	if !c2.P.Host.SleepEnabled {
+		t.Error("params leaked between configs")
+	}
+}
+
+func TestIRQPolicyPropagates(t *testing.T) {
+	cfg := Paper()
+	cfg.IRQPolicy = host.IRQSingleCore
+	cfg.IRQCore = 3
+	c := New(cfg)
+	for i := 0; i < 4; i++ {
+		if got := c.Hosts[0].IRQTarget(0); got.ID != 3 {
+			t.Fatalf("IRQ target core %d, want 3", got.ID)
+		}
+	}
+}
+
+func TestInterruptsAggregation(t *testing.T) {
+	c := New(Paper())
+	if c.Interrupts() != 0 {
+		t.Errorf("fresh cluster has %d interrupts", c.Interrupts())
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-node cluster did not panic")
+		}
+	}()
+	New(Config{Nodes: 0})
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"testing"
+
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/omx"
+	"openmxsim/internal/sim"
+)
+
+// TestDiagStreamDetail prints the internals of the Table I measurements;
+// run with -v to inspect interrupt/wakeup behaviour per strategy.
+func TestDiagStreamDetail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, size := range []int{0, 32 << 10, 1 << 20} {
+		for _, st := range table1Strategies {
+			cfg := cluster.Paper()
+			cfg.Strategy = st.strategy
+			cl := cluster.New(cfg)
+			snd := cl.Stacks[0].Open(0, cl.Hosts[0].Cores[1])
+			rcv := cl.Stacks[1].Open(0, cl.Hosts[1].Cores[1])
+			received := 0
+			var repost func()
+			repost = func() {
+				rcv.Irecv(0, 0, nil, size, func(*omx.RecvHandle) {
+					received++
+					repost()
+				})
+			}
+			dst := rcv.Addr()
+			var chain func()
+			chain = func() { snd.Isend(dst, 1, nil, size, chain) }
+			cl.Eng.After(0, func() {
+				for i := 0; i < 192; i++ {
+					repost()
+				}
+				for i := 0; i < 8; i++ {
+					chain()
+				}
+			})
+			cl.Eng.RunUntil(50 * sim.Millisecond)
+
+			rxHost := cl.Hosts[1].Stats()
+			rxNIC := cl.NICs[1].Stats
+			rxStack := cl.Stacks[1].Stats
+			txStack := cl.Stacks[0].Stats
+			t.Logf("size=%-8d %-9s rate=%8.0f/s intr=%7d wake=%7d polls=%7d pkts=%8d irqbusy=%5.1f%% user=%5.1f%% drops=%d ringfull=%d rtx=%d acks=%d",
+				size, st.name,
+				float64(received)/0.05,
+				rxNIC.Interrupts, rxHost.Wakeups, rxNIC.PollCycles,
+				rxNIC.PacketsReceived,
+				100*float64(rxHost.IRQBusy)/float64(50*sim.Millisecond*8),
+				100*float64(rxHost.UserBusy)/float64(50*sim.Millisecond*8),
+				rxNIC.RingDrops, rxStack.EventRingFull, txStack.Retransmits,
+				rxStack.AcksSent)
+		}
+	}
+}

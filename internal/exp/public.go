@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/sim"
+)
+
+// PingPongLatency exposes the ping-pong harness: mean one-way transfer
+// time per message size between two ranks on different nodes.
+func PingPongLatency(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, error) {
+	if iters <= 0 {
+		iters = 10
+	}
+	return pingPong(cfg, sizes, iters)
+}
+
+// MessageRate exposes the unidirectional stream harness: sustained
+// receiver-side message completions per second.
+func MessageRate(cfg cluster.Config, size int, warmup, measure sim.Time) float64 {
+	if warmup <= 0 {
+		warmup = 10 * sim.Millisecond
+	}
+	if measure <= 0 {
+		measure = 50 * sim.Millisecond
+	}
+	chains := 8
+	if size > 256<<10 {
+		chains = 4
+	}
+	return runStream(streamSpec{
+		Cluster: cfg, Size: size, Chains: chains,
+		Warmup: warmup, Measure: measure,
+	}).Rate
+}

@@ -1,0 +1,89 @@
+// Package exp contains one runner per table and figure of the paper's
+// evaluation (Section IV), plus the Section VI extensions. Each runner
+// builds fresh clusters, drives the workload, and formats the same rows or
+// series the paper reports.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"openmxsim/internal/sim"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Seed drives all randomness; equal seeds reproduce results exactly.
+	Seed uint64
+	// Quick shrinks durations/iterations for tests and CI (the shapes
+	// survive, the precision does not).
+	Quick bool
+}
+
+// DefaultOptions returns the full-scale configuration.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// Report is a formatted experiment result.
+type Report struct {
+	ID    string
+	Title string
+	// Header and Rows form the table; Notes carries commentary
+	// (paper-reference values, definitions).
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the report as comma-separated values.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func us(t sim.Time) string {
+	return fmt.Sprintf("%.1f", float64(t)/1000)
+}
+
+func seconds(t sim.Time) string {
+	return fmt.Sprintf("%.2f", float64(t)/1e9)
+}

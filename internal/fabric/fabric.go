@@ -1,0 +1,142 @@
+// Package fabric models the Ethernet network between hosts: full-duplex
+// links into a store-and-forward switch with per-egress-port serialization
+// and queueing, propagation delay, per-frame timing jitter, and optional
+// fault injection (drop, duplicate, delay-induced reordering).
+//
+// The fabric is where large-message bandwidth and the inter-packet gaps seen
+// by the receiving NIC are decided, so it directly shapes the pull-protocol
+// results (Table II) and the Stream-coalescing deferral window (Table III).
+package fabric
+
+import (
+	"fmt"
+
+	"openmxsim/internal/params"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/wire"
+)
+
+// Receiver consumes frames delivered by the fabric (implemented by the NIC).
+type Receiver interface {
+	// ReceiveFrame is invoked at the virtual time the last bit of the frame
+	// arrives at the port.
+	ReceiveFrame(f *wire.Frame)
+}
+
+// Fault describes an injected network imperfection, applied per frame.
+type Fault struct {
+	// DropProb is the probability a frame is silently lost.
+	DropProb float64
+	// DupProb is the probability a frame is delivered twice.
+	DupProb float64
+	// DelayProb is the probability a frame is held back by DelayTime,
+	// which reorders it behind later traffic.
+	DelayProb float64
+	// DelayTime is the hold-back applied to delayed frames.
+	DelayTime sim.Time
+	// Filter, when non-nil, restricts the fault to matching frames.
+	Filter func(*wire.Frame) bool
+}
+
+func (fl *Fault) matches(f *wire.Frame) bool {
+	return fl != nil && (fl.Filter == nil || fl.Filter(f))
+}
+
+// Switch is the central store-and-forward element. Ports are registered by
+// MAC; each port has an independent ingress (host->switch) and egress
+// (switch->host) serialization resource, which is how both directions of a
+// full-duplex link and cross-traffic contention are modelled.
+type Switch struct {
+	eng   *sim.Engine
+	link  params.Link
+	rng   *sim.RNG
+	ports map[wire.MAC]*port
+	fault *Fault
+
+	// Stats
+	FramesDelivered uint64
+	FramesDropped   uint64
+	BytesDelivered  uint64
+}
+
+type port struct {
+	mac         wire.MAC
+	rx          Receiver
+	ingressBusy sim.Time // sender-side wire occupancy
+	egressBusy  sim.Time // receiver-side wire occupancy
+}
+
+// NewSwitch creates a switch with the given link characteristics.
+func NewSwitch(eng *sim.Engine, link params.Link, rng *sim.RNG) *Switch {
+	return &Switch{eng: eng, link: link, rng: rng, ports: make(map[wire.MAC]*port)}
+}
+
+// SetFault installs (or clears, with nil) the fault-injection plan.
+func (s *Switch) SetFault(f *Fault) { s.fault = f }
+
+// Attach registers a receiver under its MAC address.
+func (s *Switch) Attach(mac wire.MAC, rx Receiver) {
+	if _, dup := s.ports[mac]; dup {
+		panic(fmt.Sprintf("fabric: duplicate port %s", mac))
+	}
+	s.ports[mac] = &port{mac: mac, rx: rx}
+}
+
+// Send injects a frame at the source port at the current virtual time. The
+// frame serializes onto the source link, crosses the switch, serializes onto
+// the destination link, and is delivered after the propagation delays.
+func (s *Switch) Send(f *wire.Frame) {
+	src, ok := s.ports[f.Src]
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown source %s", f.Src))
+	}
+	dst, ok := s.ports[f.Dst]
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown destination %s", f.Dst))
+	}
+
+	now := s.eng.Now()
+	ser := s.link.SerializationTime(f.WireBytes())
+
+	// Ingress: the sender's wire is busy until the frame has left the NIC.
+	start := now
+	if src.ingressBusy > start {
+		start = src.ingressBusy
+	}
+	atSwitch := start + ser + s.link.PropagationDelay
+	src.ingressBusy = start + ser
+
+	// Store-and-forward switch latency, then egress serialization toward
+	// the destination (shared by all flows targeting that port).
+	ready := atSwitch + s.link.SwitchLatency
+	egStart := ready
+	if dst.egressBusy > egStart {
+		egStart = dst.egressBusy
+	}
+	dst.egressBusy = egStart + ser
+	arrival := egStart + ser + s.link.PropagationDelay
+	arrival += s.rng.Jitter(0, s.link.JitterSD)
+
+	// Fault injection.
+	if s.fault.matches(f) {
+		if s.rng.Bool(s.fault.DropProb) {
+			s.FramesDropped++
+			return
+		}
+		if s.fault.DelayProb > 0 && s.rng.Bool(s.fault.DelayProb) {
+			arrival += s.fault.DelayTime
+		}
+		if s.fault.DupProb > 0 && s.rng.Bool(s.fault.DupProb) {
+			s.deliver(dst, f, arrival+s.rng.Jitter(ser, s.link.JitterSD))
+		}
+	}
+	s.deliver(dst, f, arrival)
+}
+
+func (s *Switch) deliver(p *port, f *wire.Frame, at sim.Time) {
+	s.eng.Schedule(at, func() {
+		s.FramesDelivered++
+		s.BytesDelivered += uint64(f.WireBytes())
+		p.rx.ReceiveFrame(f)
+	})
+}

@@ -1,0 +1,252 @@
+package host
+
+import (
+	"fmt"
+
+	"openmxsim/internal/sim"
+)
+
+// Core models one processor core with two execution contexts:
+//
+//   - IRQ context: interrupt work (ISR + NAPI poll packet processing). IRQ
+//     items run serially, at top priority, and preempt user work.
+//   - User context: application/library work (compute phases, event pickup,
+//     send posting). One task runs at a time; it is paused while IRQ work
+//     executes and resumes afterwards, which is how interrupt load "steals"
+//     application time in the NAS runs (Table IV).
+//
+// A core with no work, no busy-polling rank, and sleep enabled enters the
+// C1E state after IdleSleepDelay; the next interrupt then pays
+// WakeupLatency before its handler starts (Section IV-B1).
+type Core struct {
+	host *Host
+	ID   int
+
+	irqBusyUntil sim.Time // completion time of the last queued IRQ item
+	irqDepth     int      // IRQ items submitted but not finished
+
+	curUser *userTask
+	userQ   []*userTask
+
+	pollers    int // busy-polling ranks pinned here (prevent sleep)
+	sleeping   bool
+	sleepTimer *sim.Event
+	idleSince  sim.Time
+
+	Stats CoreStats
+}
+
+// CoreStats accumulates per-core accounting.
+type CoreStats struct {
+	// Interrupts delivered to this core.
+	Interrupts uint64
+	// Wakeups counts interrupts that found the core in C1E.
+	Wakeups uint64
+	// IRQBusy and UserBusy are total virtual time spent per context.
+	IRQBusy  sim.Time
+	UserBusy sim.Time
+	// SleepTime is total time spent in C1E.
+	SleepTime sim.Time
+	// UserTasks counts completed user-context tasks.
+	UserTasks uint64
+}
+
+type userTask struct {
+	remaining sim.Time
+	fn        func()
+	timer     *sim.Event
+	lastStart sim.Time
+	running   bool
+}
+
+// SubmitIRQ queues interrupt-context work of the given duration; fn runs at
+// its virtual completion time. The boolean wasInterrupt marks the item as a
+// hardware interrupt delivery for wake-up/statistics purposes (NAPI
+// per-packet items pass false).
+func (c *Core) SubmitIRQ(dur sim.Time, wasInterrupt bool, fn func()) {
+	eng := c.host.eng
+	now := eng.Now()
+	start := now
+	if c.irqBusyUntil > start {
+		start = c.irqBusyUntil
+	}
+	if wasInterrupt {
+		c.Stats.Interrupts++
+	}
+	if c.sleeping {
+		// C1E exit penalty before any handler work runs.
+		c.wake(now)
+		c.Stats.Wakeups++
+		start += c.host.P.WakeupLatency
+	}
+	c.cancelSleepTimer()
+	if c.irqDepth == 0 && c.curUser != nil && c.curUser.running {
+		c.pauseUser(now)
+	}
+	c.irqDepth++
+	c.irqBusyUntil = start + dur
+	c.Stats.IRQBusy += dur
+	eng.Schedule(start+dur, func() {
+		fn()
+		c.irqDone()
+	})
+}
+
+func (c *Core) irqDone() {
+	c.irqDepth--
+	if c.irqDepth < 0 {
+		panic("host: irqDepth underflow")
+	}
+	if c.irqDepth > 0 {
+		return
+	}
+	now := c.host.eng.Now()
+	if c.curUser != nil {
+		c.resumeUser(now)
+		return
+	}
+	c.startNextUser(now)
+}
+
+// SubmitUser queues user-context work of the given duration on this core;
+// fn runs at its completion. User work is FIFO and preempted by IRQ work.
+func (c *Core) SubmitUser(dur sim.Time, fn func()) {
+	if dur < 0 {
+		panic(fmt.Sprintf("host: negative user work %d", dur))
+	}
+	t := &userTask{remaining: dur, fn: fn}
+	c.cancelSleepTimer()
+	now := c.host.eng.Now()
+	if c.sleeping {
+		// A rank resuming on a sleeping core (blocking-wait mode) pays the
+		// wake-up penalty too.
+		c.wake(now)
+		t.remaining += c.host.P.WakeupLatency
+	}
+	if c.curUser == nil && c.irqDepth == 0 && len(c.userQ) == 0 {
+		c.curUser = t
+		c.runUser(now)
+		return
+	}
+	c.userQ = append(c.userQ, t)
+}
+
+func (c *Core) runUser(now sim.Time) {
+	t := c.curUser
+	t.running = true
+	t.lastStart = now
+	t.timer = c.host.eng.Schedule(now+t.remaining, func() {
+		c.userComplete(t)
+	})
+}
+
+func (c *Core) userComplete(t *userTask) {
+	c.Stats.UserBusy += t.remaining
+	t.remaining = 0
+	c.curUser = nil
+	c.Stats.UserTasks++
+	t.fn()
+	now := c.host.eng.Now()
+	if c.curUser == nil && c.irqDepth == 0 {
+		c.startNextUser(now)
+	}
+}
+
+func (c *Core) startNextUser(now sim.Time) {
+	if len(c.userQ) == 0 {
+		c.maybeIdle(now)
+		return
+	}
+	c.curUser = c.userQ[0]
+	copy(c.userQ, c.userQ[1:])
+	c.userQ = c.userQ[:len(c.userQ)-1]
+	c.runUser(now)
+}
+
+func (c *Core) pauseUser(now sim.Time) {
+	t := c.curUser
+	ran := now - t.lastStart
+	if ran < 0 {
+		panic("host: user task ran negative time")
+	}
+	t.remaining -= ran
+	c.Stats.UserBusy += ran
+	if t.remaining < 0 {
+		t.remaining = 0
+	}
+	t.running = false
+	if t.timer != nil {
+		t.timer.Cancel()
+		t.timer = nil
+	}
+}
+
+func (c *Core) resumeUser(now sim.Time) {
+	t := c.curUser
+	if t.running {
+		return
+	}
+	t.running = true
+	t.lastStart = now
+	t.timer = c.host.eng.Schedule(now+t.remaining, func() {
+		c.userComplete(t)
+	})
+}
+
+// Poll registers (true) or unregisters (false) a busy-polling rank on this
+// core. Busy-polling cores never sleep, matching Open MPI's spin-wait
+// progression over MX.
+func (c *Core) Poll(active bool) {
+	if active {
+		c.pollers++
+		if c.sleeping {
+			c.wake(c.host.eng.Now())
+		}
+		c.cancelSleepTimer()
+		return
+	}
+	c.pollers--
+	if c.pollers < 0 {
+		panic("host: poller underflow")
+	}
+	if c.pollers == 0 {
+		c.maybeIdle(c.host.eng.Now())
+	}
+}
+
+// Busy reports whether the core currently has queued or running work.
+func (c *Core) Busy() bool {
+	return c.irqDepth > 0 || c.curUser != nil || len(c.userQ) > 0
+}
+
+// Sleeping reports whether the core is in C1E.
+func (c *Core) Sleeping() bool { return c.sleeping }
+
+func (c *Core) maybeIdle(now sim.Time) {
+	if c.Busy() || c.pollers > 0 || !c.host.P.SleepEnabled || c.sleeping {
+		return
+	}
+	c.cancelSleepTimer()
+	c.sleepTimer = c.host.eng.Schedule(now+c.host.P.IdleSleepDelay, func() {
+		c.sleepTimer = nil
+		if !c.Busy() && c.pollers == 0 && !c.sleeping {
+			c.sleeping = true
+			c.idleSince = c.host.eng.Now()
+		}
+	})
+}
+
+func (c *Core) wake(now sim.Time) {
+	if !c.sleeping {
+		return
+	}
+	c.sleeping = false
+	c.Stats.SleepTime += now - c.idleSince
+}
+
+func (c *Core) cancelSleepTimer() {
+	if c.sleepTimer != nil {
+		c.sleepTimer.Cancel()
+		c.sleepTimer = nil
+	}
+}

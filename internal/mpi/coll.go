@@ -1,0 +1,240 @@
+package mpi
+
+// Collective operations with the classic algorithms of Open MPI's "tuned"
+// defaults at small scale: dissemination barrier, binomial broadcast and
+// reduce, recursive-doubling allreduce, ring allgather, and pairwise
+// alltoall(v). All collectives are size-driven: they move the specified
+// byte counts and synchronize exactly like the real algorithms, which is
+// what the interrupt study needs.
+
+// Barrier blocks until every rank in the communicator has entered it.
+func (r *Rank) Barrier(c *Comm) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.RankOf(r.ID)
+	tag := r.collTag(c)
+	step := 0
+	for k := 1; k < n; k <<= 1 {
+		dst := (me + k) % n
+		src := (me - k + n) % n
+		r.Sendrecv(c, dst, tag+step, 0, src, tag+step, 0)
+		step++
+	}
+}
+
+// Bcast sends size bytes from root to every rank (binomial tree).
+func (r *Rank) Bcast(c *Comm, root, size int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.RankOf(r.ID)
+	tag := r.collTag(c)
+	// Rotate so the root is virtual rank 0.
+	vrank := (me - root + n) % n
+
+	// Receive from parent, then forward to children.
+	if vrank != 0 {
+		mask := 1
+		for vrank&mask == 0 {
+			mask <<= 1
+		}
+		parent := (((vrank &^ mask) + root) % n)
+		r.Recv(c, parent, tag, nil, size)
+	}
+	for mask := nextPow2(n) >> 1; mask > 0; mask >>= 1 {
+		if vrank&(mask-1) == 0 && vrank&mask == 0 {
+			child := vrank | mask
+			if child < n {
+				r.Send(c, (child+root)%n, tag, nil, size)
+			}
+		}
+	}
+}
+
+// Reduce gathers size bytes of contribution from every rank onto root
+// (binomial tree, combining at each step).
+func (r *Rank) Reduce(c *Comm, root, size int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.RankOf(r.ID)
+	tag := r.collTag(c)
+	vrank := (me - root + n) % n
+
+	for mask := 1; mask < nextPow2(n); mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % n
+			r.Send(c, parent, tag, nil, size)
+			return
+		}
+		child := vrank | mask
+		if child < n {
+			r.Recv(c, (child+root)%n, tag, nil, size)
+		}
+	}
+}
+
+// Allreduce combines size bytes across all ranks (recursive doubling, with
+// the standard fold-in for non-power-of-two sizes).
+func (r *Rank) Allreduce(c *Comm, size int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.RankOf(r.ID)
+	tag := r.collTag(c)
+	pof2 := largestPow2(n)
+	rem := n - pof2
+
+	newRank := -1
+	switch {
+	case me < 2*rem && me%2 == 0:
+		// Fold into the odd neighbour, wait for the result afterwards.
+		r.Send(c, me+1, tag, nil, size)
+	case me < 2*rem:
+		r.Recv(c, me-1, tag, nil, size)
+		newRank = me / 2
+	default:
+		newRank = me - rem
+	}
+
+	if newRank >= 0 {
+		step := 1
+		for mask := 1; mask < pof2; mask <<= 1 {
+			partnerNew := newRank ^ mask
+			partner := partnerNew
+			if partnerNew < rem {
+				partner = partnerNew*2 + 1
+			} else {
+				partner = partnerNew + rem
+			}
+			r.Sendrecv(c, partner, tag+step, size, partner, tag+step, size)
+			step++
+		}
+	}
+
+	// Hand results back to the folded ranks.
+	switch {
+	case me < 2*rem && me%2 == 0:
+		r.Recv(c, me+1, tag+2000, nil, size)
+	case me < 2*rem && me%2 == 1:
+		r.Send(c, me-1, tag+2000, nil, size)
+	}
+}
+
+// Allgather shares blockSize bytes per rank with everyone (ring algorithm:
+// n-1 steps of neighbour exchange).
+func (r *Rank) Allgather(c *Comm, blockSize int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.RankOf(r.ID)
+	tag := r.collTag(c)
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		r.Sendrecv(c, right, tag+step, blockSize, left, tag+step, blockSize)
+	}
+}
+
+// Gather collects blockSize bytes from every rank at root.
+func (r *Rank) Gather(c *Comm, root, blockSize int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.RankOf(r.ID)
+	tag := r.collTag(c)
+	if me == root {
+		reqs := make([]*Request, 0, n-1)
+		for src := 0; src < n; src++ {
+			if src == root {
+				continue
+			}
+			reqs = append(reqs, r.Irecv(c, src, tag, nil, blockSize))
+		}
+		r.Wait(reqs...)
+		return
+	}
+	r.Send(c, root, tag, nil, blockSize)
+}
+
+// Scatter distributes blockSize bytes from root to every rank.
+func (r *Rank) Scatter(c *Comm, root, blockSize int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.RankOf(r.ID)
+	tag := r.collTag(c)
+	if me == root {
+		reqs := make([]*Request, 0, n-1)
+		for dst := 0; dst < n; dst++ {
+			if dst == root {
+				continue
+			}
+			reqs = append(reqs, r.Isend(c, dst, tag, nil, blockSize))
+		}
+		r.Wait(reqs...)
+		return
+	}
+	r.Recv(c, root, tag, nil, blockSize)
+}
+
+// Alltoall exchanges blockSize bytes between every rank pair (pairwise
+// exchange: n-1 shifted sendrecv steps).
+func (r *Rank) Alltoall(c *Comm, blockSize int) {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.RankOf(r.ID)
+	tag := r.collTag(c)
+	for step := 1; step < n; step++ {
+		dst := (me + step) % n
+		src := (me - step + n) % n
+		r.Sendrecv(c, dst, tag+step, blockSize, src, tag+step, blockSize)
+	}
+}
+
+// Alltoallv exchanges sizes[dst] bytes with each destination; recvSizes
+// gives the per-source receive capacity (pairwise exchange).
+func (r *Rank) Alltoallv(c *Comm, sendSizes, recvSizes []int) {
+	n := c.Size()
+	if len(sendSizes) != n || len(recvSizes) != n {
+		panic("mpi: Alltoallv size vectors must match communicator size")
+	}
+	if n == 1 {
+		return
+	}
+	me := c.RankOf(r.ID)
+	tag := r.collTag(c)
+	for step := 1; step < n; step++ {
+		dst := (me + step) % n
+		src := (me - step + n) % n
+		rq := r.Irecv(c, src, tag+step, nil, recvSizes[src])
+		sq := r.Isend(c, dst, tag+step, nil, sendSizes[dst])
+		r.Wait(rq, sq)
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func largestPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}

@@ -1,0 +1,267 @@
+// Package mpi is a small MPI-style layer over the Open-MX stack: ranks with
+// blocking and non-blocking point-to-point operations and the collectives
+// the NAS Parallel Benchmarks need. It plays the role of Open MPI 1.3 in
+// the paper's software stack.
+package mpi
+
+import (
+	"fmt"
+
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/host"
+	"openmxsim/internal/omx"
+	"openmxsim/internal/proc"
+	"openmxsim/internal/sim"
+)
+
+// AnySource and AnyTag are wildcard receive selectors.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// World is one MPI job: a set of ranks over a cluster.
+type World struct {
+	Cluster *cluster.Cluster
+	ranks   []*Rank
+	addrs   []omx.Addr
+	nextCtx uint16
+}
+
+// Rank is one MPI process, pinned to a core, owning one endpoint.
+type Rank struct {
+	world *World
+	ID    int
+	EP    *omx.Endpoint
+	Proc  *proc.Proc
+	core  *host.Core
+
+	// FinishedAt records when the rank's main function returned.
+	FinishedAt sim.Time
+
+	collSeq map[uint16]uint32 // per-communicator collective epoch
+}
+
+// NewWorld creates one rank per endpoint, in order.
+func NewWorld(c *cluster.Cluster, eps []*omx.Endpoint) *World {
+	w := &World{Cluster: c, nextCtx: 2}
+	for i, ep := range eps {
+		w.addrs = append(w.addrs, ep.Addr())
+		w.ranks = append(w.ranks, &Rank{
+			world:   w,
+			ID:      i,
+			EP:      ep,
+			Proc:    proc.New(fmt.Sprintf("rank%d", i)),
+			core:    ep.Core(),
+			collSeq: make(map[uint16]uint32),
+		})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i.
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Comm is a communicator: an ordered group of world ranks with a matching
+// context. Comm-local rank indices are positions in the group.
+type Comm struct {
+	world *World
+	group []int // comm rank -> world rank
+	ctx   uint16
+}
+
+// CommWorld returns the communicator spanning all ranks.
+func (w *World) CommWorld() *Comm {
+	g := make([]int, len(w.ranks))
+	for i := range g {
+		g[i] = i
+	}
+	return &Comm{world: w, group: g, ctx: 1}
+}
+
+// Sub creates a sub-communicator from world ranks (in the given order).
+func (w *World) Sub(group []int) *Comm {
+	w.nextCtx++
+	return &Comm{world: w, group: append([]int(nil), group...), ctx: w.nextCtx}
+}
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.group) }
+
+// RankOf returns the comm-local index of world rank w, or -1.
+func (c *Comm) RankOf(worldRank int) int {
+	for i, g := range c.group {
+		if g == worldRank {
+			return i
+		}
+	}
+	return -1
+}
+
+// Run executes fn on every rank concurrently (SPMD) and returns the maximal
+// rank finish time. It errors if any rank deadlocks.
+func (w *World) Run(fn func(r *Rank)) (sim.Time, error) {
+	eng := w.Cluster.Eng
+	for _, r := range w.ranks {
+		r := r
+		r.Proc.Start(eng, eng.Now(), func() {
+			fn(r)
+			r.FinishedAt = eng.Now()
+		})
+	}
+	eng.Run()
+	var stuck []string
+	var finish sim.Time
+	for _, r := range w.ranks {
+		if !r.Proc.Done() {
+			stuck = append(stuck, r.Proc.Name)
+		}
+		if r.FinishedAt > finish {
+			finish = r.FinishedAt
+		}
+	}
+	if len(stuck) > 0 {
+		for _, r := range w.ranks {
+			r.Proc.Kill()
+		}
+		return 0, fmt.Errorf("mpi: deadlock, stuck ranks: %v", stuck)
+	}
+	return finish, nil
+}
+
+// matchKey builds the 64-bit MX match: [16 ctx | 16 src | 32 tag].
+func matchKey(ctx uint16, src int, tag int) uint64 {
+	return uint64(ctx)<<48 | uint64(uint16(src))<<32 | uint64(uint32(tag))
+}
+
+func matchMask(src, tag int) uint64 {
+	mask := ^uint64(0)
+	if src == AnySource {
+		mask &^= uint64(0xFFFF) << 32
+	}
+	if tag == AnyTag {
+		mask &^= uint64(0xFFFFFFFF)
+	}
+	return mask
+}
+
+// Request tracks a non-blocking operation.
+type Request struct {
+	done bool
+	rh   *omx.RecvHandle
+}
+
+// Done reports completion.
+func (q *Request) Done() bool { return q.done }
+
+// Status describes a completed receive.
+type Status struct {
+	Source int // comm-local source rank
+	Tag    int
+	Len    int
+}
+
+// Status returns the receive status (zero Status for sends).
+func (q *Request) Status() Status {
+	if q.rh == nil || !q.rh.Done {
+		return Status{}
+	}
+	return Status{
+		Source: int(uint16(q.rh.MatchV >> 32)),
+		Tag:    int(int32(uint32(q.rh.MatchV))),
+		Len:    q.rh.Len,
+	}
+}
+
+// Isend starts a non-blocking send of size bytes (data may carry real
+// payload) to comm rank dst with the given tag.
+func (r *Rank) Isend(c *Comm, dst, tag int, data []byte, size int) *Request {
+	req := &Request{}
+	me := c.RankOf(r.ID)
+	addr := r.world.addrs[c.group[dst]]
+	r.EP.Isend(addr, matchKey(c.ctx, me, tag), data, size, func() {
+		req.done = true
+		r.Proc.Wake()
+	})
+	return req
+}
+
+// Irecv starts a non-blocking receive from comm rank src (or AnySource).
+func (r *Rank) Irecv(c *Comm, src, tag int, buf []byte, capacity int) *Request {
+	req := &Request{}
+	req.rh = r.EP.Irecv(matchKey(c.ctx, src, tag), matchMask(src, tag), buf, capacity, func(*omx.RecvHandle) {
+		req.done = true
+		r.Proc.Wake()
+	})
+	return req
+}
+
+// Wait blocks until every request completes.
+func (r *Rank) Wait(reqs ...*Request) {
+	r.pollWait(func() bool {
+		for _, q := range reqs {
+			if !q.done {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Send is a blocking send (buffered for eager sizes, synchronous beyond the
+// rendezvous threshold, like MPI over MX).
+func (r *Rank) Send(c *Comm, dst, tag int, data []byte, size int) {
+	r.Wait(r.Isend(c, dst, tag, data, size))
+}
+
+// Recv is a blocking receive returning the message status.
+func (r *Rank) Recv(c *Comm, src, tag int, buf []byte, capacity int) Status {
+	q := r.Irecv(c, src, tag, buf, capacity)
+	r.Wait(q)
+	return q.Status()
+}
+
+// Sendrecv exchanges messages with the two peers simultaneously.
+func (r *Rank) Sendrecv(c *Comm, dst, sendTag, sendSize, src, recvTag, recvCap int) Status {
+	rq := r.Irecv(c, src, recvTag, nil, recvCap)
+	sq := r.Isend(c, dst, sendTag, nil, sendSize)
+	r.Wait(rq, sq)
+	return rq.Status()
+}
+
+// Compute occupies the rank's core for d nanoseconds of application work.
+func (r *Rank) Compute(d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	r.Proc.Advance(r.core, d)
+}
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.world.Cluster.Eng.Now() }
+
+// pollWait blocks until cond, busy-polling the core if configured (Open MPI
+// spins on MX completion queues).
+func (r *Rank) pollWait(cond func() bool) {
+	if cond() {
+		return
+	}
+	if r.world.Cluster.P.Lib.BusyPoll {
+		r.core.Poll(true)
+		defer r.core.Poll(false)
+	}
+	r.Proc.Wait(cond)
+}
+
+// collTag returns the base tag for one collective invocation: a
+// per-communicator epoch with room for 4096 per-step sub-tags. MPI requires
+// all ranks to invoke collectives in the same order, so per-rank counters
+// stay aligned; distinct step tags keep envelopes unambiguous even when
+// retransmissions reorder arrivals.
+func (r *Rank) collTag(c *Comm) int {
+	r.collSeq[c.ctx]++
+	return int(r.collSeq[c.ctx]<<12 | 1<<30)
+}

@@ -1,0 +1,395 @@
+package nas
+
+import (
+	"openmxsim/internal/mpi"
+	"openmxsim/internal/sim"
+)
+
+const (
+	ms = sim.Millisecond
+	us = sim.Microsecond
+)
+
+// jitterFor gives each rank a private RNG so compute phases carry ~0.2%
+// deterministic noise (real ranks are never in perfect lockstep).
+func jitterFor(w *mpi.World, rank int) *sim.RNG {
+	return w.Cluster.RNG.Derive(0x4A5 + uint64(rank))
+}
+
+func compute(r *mpi.Rank, rng *sim.RNG, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	r.Compute(rng.Jitter(d, d/500))
+}
+
+// pmod is the always-positive modulo (Go's % keeps the dividend's sign).
+func pmod(a, n int) int {
+	return ((a % n) + n) % n
+}
+
+// ---- IS: integer bucket sort. Dominated by one large Alltoallv of the
+// keys per iteration — the paper's headline benchmark (7-8 % improvement
+// with Open-MX coalescing).
+
+type isParams struct {
+	keys        int
+	iters       int
+	bucketBytes int
+	computeIter sim.Time // per rank, 16 ranks
+}
+
+var isClasses = map[byte]isParams{
+	'S': {1 << 16, 10, 2048, 350 * us},
+	'W': {1 << 20, 10, 4096, 6 * ms},
+	'A': {1 << 23, 10, 4096, 450 * ms},
+	'B': {1 << 25, 10, 4096, 1850 * ms},
+	'C': {1 << 27, 10, 4096, 2590 * ms},
+}
+
+func buildIS(class byte, ranks int) *Workload {
+	p := isClasses[class]
+	return &Workload{
+		Name: "is", Class: class, Ranks: ranks, MemOK: true,
+		Setup: worldOnly,
+		Body: func(r *mpi.Rank, w *mpi.World, cm *Comms) {
+			n := cm.World.Size()
+			rng := jitterFor(w, r.ID)
+			perPair := p.keys * 4 / (n * n)
+			sizes := make([]int, n)
+			for i := range sizes {
+				sizes[i] = perPair
+			}
+			comp := scalePerRank(p.computeIter, n)
+			// One untimed warmup iteration plus the timed iterations,
+			// as in NPB IS.
+			for iter := 0; iter <= p.iters; iter++ {
+				compute(r, rng, comp)
+				r.Allreduce(cm.World, p.bucketBytes)
+				r.Alltoall(cm.World, 4)
+				r.Alltoallv(cm.World, sizes, sizes)
+			}
+		},
+	}
+}
+
+// ---- FT: 3D FFT. One full-volume transpose (Alltoall) per iteration.
+
+type ftParams struct {
+	points      int
+	iters       int
+	computeIter sim.Time
+	memOK       bool
+}
+
+var ftClasses = map[byte]ftParams{
+	'S': {1 << 18, 6, 2 * ms, true},
+	'W': {1 << 19, 6, 4 * ms, true},
+	'A': {1 << 23, 6, 260 * ms, true},
+	'B': {1 << 25, 20, 810 * ms, true},
+	// Class C needs more memory than the paper's nodes had: Table IV
+	// reports "Not enough memory".
+	'C': {1 << 27, 20, 4200 * ms, false},
+}
+
+func buildFT(class byte, ranks int) *Workload {
+	p := ftClasses[class]
+	return &Workload{
+		Name: "ft", Class: class, Ranks: ranks, MemOK: p.memOK,
+		Setup: worldOnly,
+		Body: func(r *mpi.Rank, w *mpi.World, cm *Comms) {
+			n := cm.World.Size()
+			rng := jitterFor(w, r.ID)
+			totalBytes := p.points * 16 // complex128
+			block := totalBytes / (n * n)
+			comp := scalePerRank(p.computeIter, n)
+			compute(r, rng, comp/2) // setup + initial FFT
+			for iter := 0; iter < p.iters; iter++ {
+				compute(r, rng, comp)
+				r.Alltoall(cm.World, block)
+			}
+			r.Allreduce(cm.World, 16) // checksum
+		},
+	}
+}
+
+// ---- CG: conjugate gradient. Transpose exchanges plus latency-sensitive
+// dot-product allreduces every inner iteration.
+
+type cgParams struct {
+	na           int
+	outer, inner int
+	computeInner sim.Time
+}
+
+var cgClasses = map[byte]cgParams{
+	'S': {1400, 15, 25, 30 * us},
+	'W': {7000, 15, 25, 150 * us},
+	'A': {14000, 15, 25, 2 * ms},
+	'B': {75000, 75, 25, 19 * ms},
+	'C': {150000, 75, 25, 44700 * us},
+}
+
+func buildCG(class byte, ranks int) *Workload {
+	p := cgClasses[class]
+	return &Workload{
+		Name: "cg", Class: class, Ranks: ranks, MemOK: true,
+		Setup: gridSetup,
+		Body: func(r *mpi.Rank, w *mpi.World, cm *Comms) {
+			n := cm.World.Size()
+			side := cm.GridSide
+			rng := jitterFor(w, r.ID)
+			me := r.ID
+			row, col := me/side, me%side
+			transpose := col*side + row // partner across the diagonal
+			exch := p.na * 8 / side
+			comp := scalePerRank(p.computeInner, n)
+			rowComm := cm.Rows[row]
+			tag := 1 << 27
+			for o := 0; o < p.outer; o++ {
+				for i := 0; i < p.inner; i++ {
+					compute(r, rng, comp)
+					if transpose != me {
+						r.Sendrecv(cm.World, cm.World.RankOf(transpose), tag, exch,
+							cm.World.RankOf(transpose), tag, exch)
+						tag++
+					}
+					r.Allreduce(rowComm, 8) // rho
+					r.Allreduce(rowComm, 8) // alpha/beta
+				}
+				r.Allreduce(rowComm, 8) // residual norm
+			}
+		},
+	}
+}
+
+// ---- MG: multigrid V-cycles with 3D ghost-face exchanges whose sizes
+// shrink with each level.
+
+type mgParams struct {
+	size        int // cubic grid edge
+	iters       int
+	computeIter sim.Time
+}
+
+var mgClasses = map[byte]mgParams{
+	'S': {32, 4, 500 * us},
+	'W': {128, 40, 5 * ms},
+	'A': {256, 4, 330 * ms},
+	'B': {256, 20, 330 * ms},
+	'C': {512, 20, 1550 * ms},
+}
+
+func buildMG(class byte, ranks int) *Workload {
+	p := mgClasses[class]
+	return &Workload{
+		Name: "mg", Class: class, Ranks: ranks, MemOK: true,
+		Setup: worldOnly,
+		Body: func(r *mpi.Rank, w *mpi.World, cm *Comms) {
+			n := cm.World.Size()
+			rng := jitterFor(w, r.ID)
+			me := r.ID
+			comp := scalePerRank(p.computeIter, n)
+			// 3D neighbours on a 1D-folded torus (approximates the NPB
+			// processor grid at 16 ranks: 4x2x2).
+			nb := [6]int{
+				pmod(me+1, n), pmod(me-1, n),
+				pmod(me+4, n), pmod(me-4, n),
+				pmod(me+8, n), pmod(me-8, n),
+			}
+			levels := 0
+			for s := p.size; s >= 4; s >>= 1 {
+				levels++
+			}
+			tag := 1 << 27
+			for iter := 0; iter < p.iters; iter++ {
+				for lvl := levels; lvl >= 1; lvl-- {
+					s := p.size >> (levels - lvl)
+					face := s * s * 8 / 8 // face bytes per neighbour pair
+					if face < 64 {
+						face = 64
+					}
+					// Compute share proportional to the level volume.
+					compute(r, rng, comp*sim.Time(lvl*lvl)/sim.Time(levels*levels*levels/4+1))
+					for d := 0; d < 3; d++ {
+						r.Sendrecv(cm.World, nb[2*d], tag, face, nb[2*d+1], tag, face)
+						tag++
+						r.Sendrecv(cm.World, nb[2*d+1], tag, face, nb[2*d], tag, face)
+						tag++
+					}
+				}
+				r.Allreduce(cm.World, 8) // norm
+			}
+		},
+	}
+}
+
+// ---- EP: embarrassingly parallel; almost pure compute.
+
+type epParams struct {
+	computeTotal sim.Time
+}
+
+var epClasses = map[byte]epParams{
+	'S': {50 * ms},
+	'W': {400 * ms},
+	'A': {1950 * ms},
+	'B': {7800 * ms},
+	'C': {31150 * ms},
+}
+
+func buildEP(class byte, ranks int) *Workload {
+	p := epClasses[class]
+	return &Workload{
+		Name: "ep", Class: class, Ranks: ranks, MemOK: true,
+		Setup: worldOnly,
+		Body: func(r *mpi.Rank, w *mpi.World, cm *Comms) {
+			n := cm.World.Size()
+			rng := jitterFor(w, r.ID)
+			compute(r, rng, scalePerRank(p.computeTotal, n))
+			for i := 0; i < 3; i++ {
+				r.Allreduce(cm.World, 72) // sx, sy, counts
+			}
+		},
+	}
+}
+
+// ---- LU: SSOR with 2D wavefront pipelines: many small pipelined messages
+// per sweep, the latency-sensitive pattern of the suite.
+
+type luParams struct {
+	nz           int
+	iters        int
+	planesPerMsg int
+	computeBlock sim.Time // per pipeline block
+	faceBytes    int      // per-plane face bytes per neighbour
+}
+
+var luClasses = map[byte]luParams{
+	'S': {12, 50, 3, 30 * us, 240},
+	'W': {33, 300, 3, 60 * us, 660},
+	'A': {64, 250, 9, 2500 * us, 1280},
+	'B': {102, 250, 9, 10 * ms, 2040},
+	'C': {162, 250, 9, 16500 * us, 3240},
+}
+
+func buildLU(class byte, ranks int) *Workload {
+	p := luClasses[class]
+	return &Workload{
+		Name: "lu", Class: class, Ranks: ranks, MemOK: true,
+		Setup: gridSetup,
+		Body: func(r *mpi.Rank, w *mpi.World, cm *Comms) {
+			n := cm.World.Size()
+			side := cm.GridSide
+			rng := jitterFor(w, r.ID)
+			me := r.ID
+			row, col := me/side, me%side
+			nblocks := (p.nz + p.planesPerMsg - 1) / p.planesPerMsg
+			blockBytes := p.planesPerMsg * p.faceBytes * 4 / side
+			comp := scalePerRank(p.computeBlock, n)
+			tagBase := 1 << 27
+
+			north, south := me-side, me+side
+			west, east := me-1, me+1
+
+			for iter := 0; iter < p.iters; iter++ {
+				// Lower-triangular sweep: wavefront from (0,0).
+				for b := 0; b < nblocks; b++ {
+					tag := tagBase + (iter*2*nblocks+b)*4
+					if row > 0 {
+						r.Recv(cm.World, north, tag, nil, blockBytes)
+					}
+					if col > 0 {
+						r.Recv(cm.World, west, tag+1, nil, blockBytes)
+					}
+					compute(r, rng, comp)
+					if row < side-1 {
+						r.Send(cm.World, south, tag, nil, blockBytes)
+					}
+					if col < side-1 {
+						r.Send(cm.World, east, tag+1, nil, blockBytes)
+					}
+				}
+				// Upper-triangular sweep: wavefront from (side-1, side-1).
+				for b := 0; b < nblocks; b++ {
+					tag := tagBase + ((iter*2+1)*nblocks+b)*4
+					if row < side-1 {
+						r.Recv(cm.World, south, tag+2, nil, blockBytes)
+					}
+					if col < side-1 {
+						r.Recv(cm.World, east, tag+3, nil, blockBytes)
+					}
+					compute(r, rng, comp)
+					if row > 0 {
+						r.Send(cm.World, north, tag+2, nil, blockBytes)
+					}
+					if col > 0 {
+						r.Send(cm.World, west, tag+3, nil, blockBytes)
+					}
+				}
+				r.Allreduce(cm.World, 40) // residual norms
+			}
+		},
+	}
+}
+
+// ---- BT and SP: ADI solvers on a square process grid, face exchanges
+// along rows and columns each iteration; strongly compute-dominated.
+
+type adiParams struct {
+	iters       int
+	faceBytes   int
+	computeIter sim.Time
+}
+
+var btClasses = map[byte]adiParams{
+	'S': {60, 2000, 500 * us},
+	'W': {200, 8000, 3 * ms},
+	'A': {200, 40000, 170 * ms},
+	'B': {200, 100000, 560 * ms},
+	'C': {200, 200000, 1349 * ms},
+}
+
+var spClasses = map[byte]adiParams{
+	'S': {100, 1500, 200 * us},
+	'W': {400, 6000, 1500 * us},
+	'A': {400, 30000, 85 * ms},
+	'B': {400, 80000, 280 * ms},
+	'C': {400, 120000, 1368 * ms},
+}
+
+func buildBT(class byte, ranks int) *Workload { return buildADI("bt", btClasses[class], class, ranks) }
+func buildSP(class byte, ranks int) *Workload { return buildADI("sp", spClasses[class], class, ranks) }
+
+func buildADI(name string, p adiParams, class byte, ranks int) *Workload {
+	return &Workload{
+		Name: name, Class: class, Ranks: ranks, MemOK: true,
+		Setup: gridSetup,
+		Body: func(r *mpi.Rank, w *mpi.World, cm *Comms) {
+			n := cm.World.Size()
+			side := cm.GridSide
+			rng := jitterFor(w, r.ID)
+			me := r.ID
+			row, col := me/side, me%side
+			rowComm, colComm := cm.Rows[row], cm.Cols[col]
+			rIdx, cIdx := rowComm.RankOf(me), colComm.RankOf(me)
+			comp := scalePerRank(p.computeIter, n)
+			face := p.faceBytes * 4 / side
+			tag := 1 << 27
+			for iter := 0; iter < p.iters; iter++ {
+				// x-sweep along the row, forward and backward.
+				compute(r, rng, comp/3)
+				r.Sendrecv(rowComm, (rIdx+1)%side, tag, face, (rIdx-1+side)%side, tag, face)
+				r.Sendrecv(rowComm, (rIdx-1+side)%side, tag+1, face, (rIdx+1)%side, tag+1, face)
+				// y-sweep along the column.
+				compute(r, rng, comp/3)
+				r.Sendrecv(colComm, (cIdx+1)%side, tag+2, face, (cIdx-1+side)%side, tag+2, face)
+				r.Sendrecv(colComm, (cIdx-1+side)%side, tag+3, face, (cIdx+1)%side, tag+3, face)
+				// z-sweep is node-local.
+				compute(r, rng, comp/3)
+				tag += 4
+			}
+			r.Allreduce(cm.World, 40)
+		},
+	}
+}

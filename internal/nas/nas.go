@@ -1,0 +1,176 @@
+// Package nas models the communication behaviour of the NAS Parallel
+// Benchmarks (NPB 2/3 MPI versions) used in the paper's application
+// evaluation: IS, FT, CG, MG, EP, LU, BT and SP, with class-accurate
+// message sizes and counts over the mini-MPI layer, and compute phases
+// represented as calibrated virtual-time costs.
+//
+// Only the *default-strategy* execution times are calibrated (one constant
+// per benchmark/class); every delta across coalescing strategies — the
+// quantity the paper reports — emerges from the interrupt model.
+package nas
+
+import (
+	"fmt"
+	"sort"
+
+	"openmxsim/internal/mpi"
+	"openmxsim/internal/sim"
+)
+
+// Comms is the communicator set a benchmark body uses.
+type Comms struct {
+	World *mpi.Comm
+	// Rows and Cols partition a square process grid (CG, LU, BT, SP).
+	Rows []*mpi.Comm
+	Cols []*mpi.Comm
+	// GridSide is the square grid dimension when used.
+	GridSide int
+}
+
+// Workload is a runnable benchmark instance.
+type Workload struct {
+	Name  string
+	Class byte
+	// Ranks the workload was built for.
+	Ranks int
+	// MemOK is false when the configuration exceeds the paper platform's
+	// memory (ft.C: "Not enough memory").
+	MemOK bool
+	// Setup builds communicators; Body is the SPMD program.
+	Setup func(w *mpi.World) *Comms
+	Body  func(r *mpi.Rank, w *mpi.World, cm *Comms)
+}
+
+// FullName renders e.g. "is.C.16".
+func (wl *Workload) FullName() string {
+	return fmt.Sprintf("%s.%c.%d", wl.Name, wl.Class, wl.Ranks)
+}
+
+// Names lists the supported benchmarks in the paper's table order.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Classes lists the supported classes for a benchmark.
+func Classes(name string) []byte {
+	b, ok := builders[name]
+	if !ok {
+		return nil
+	}
+	cs := make([]byte, 0, len(b.classes))
+	for c := range b.classes {
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// Get builds a workload for the given benchmark, class, and rank count.
+func Get(name string, class byte, ranks int) (*Workload, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("nas: unknown benchmark %q (have %v)", name, Names())
+	}
+	if _, ok := b.classes[class]; !ok {
+		return nil, fmt.Errorf("nas: %s has no class %c", name, class)
+	}
+	if err := b.checkRanks(ranks); err != nil {
+		return nil, err
+	}
+	return b.build(class, ranks), nil
+}
+
+type builder struct {
+	classes    map[byte]bool
+	checkRanks func(int) error
+	build      func(class byte, ranks int) *Workload
+}
+
+var builders = map[string]builder{
+	"is": {classMap("SWABC"), anyEven, buildIS},
+	"ft": {classMap("SWABC"), anyEven, buildFT},
+	"cg": {classMap("SWABC"), square, buildCG},
+	"mg": {classMap("SWABC"), pow2Ranks, buildMG},
+	"ep": {classMap("SWABC"), anyEven, buildEP},
+	"lu": {classMap("SWABC"), square, buildLU},
+	"bt": {classMap("SWABC"), square, buildBT},
+	"sp": {classMap("SWABC"), square, buildSP},
+}
+
+func classMap(s string) map[byte]bool {
+	m := make(map[byte]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		m[s[i]] = true
+	}
+	return m
+}
+
+func anyEven(n int) error {
+	if n < 2 {
+		return fmt.Errorf("nas: need at least 2 ranks, got %d", n)
+	}
+	return nil
+}
+
+func square(n int) error {
+	s := isqrt(n)
+	if s*s != n {
+		return fmt.Errorf("nas: need a square rank count, got %d", n)
+	}
+	return nil
+}
+
+func pow2Ranks(n int) error {
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("nas: need a power-of-two rank count, got %d", n)
+	}
+	return nil
+}
+
+func isqrt(n int) int {
+	s := 0
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// worldOnly is the Setup for benchmarks without sub-communicators.
+func worldOnly(w *mpi.World) *Comms {
+	return &Comms{World: w.CommWorld()}
+}
+
+// gridSetup builds row and column communicators over a square grid laid
+// out row-major across the ranks.
+func gridSetup(w *mpi.World) *Comms {
+	n := w.Size()
+	side := isqrt(n)
+	cm := &Comms{World: w.CommWorld(), GridSide: side}
+	for r := 0; r < side; r++ {
+		g := make([]int, side)
+		for c := 0; c < side; c++ {
+			g[c] = r*side + c
+		}
+		cm.Rows = append(cm.Rows, w.Sub(g))
+	}
+	for c := 0; c < side; c++ {
+		g := make([]int, side)
+		for r := 0; r < side; r++ {
+			g[r] = r*side + c
+		}
+		cm.Cols = append(cm.Cols, w.Sub(g))
+	}
+	return cm
+}
+
+// scalePerRank converts a total aggregate compute budget into a per-rank
+// per-iteration cost for the given rank count, relative to the 16-rank
+// calibration.
+func scalePerRank(perIter16 sim.Time, ranks int) sim.Time {
+	return perIter16 * 16 / sim.Time(ranks)
+}

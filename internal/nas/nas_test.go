@@ -1,0 +1,134 @@
+package nas
+
+import (
+	"testing"
+
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/sim"
+)
+
+func smallCfg() cluster.Config {
+	cfg := cluster.Paper()
+	return cfg
+}
+
+func TestAllBenchmarksClassSComplete(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			wl, err := Get(name, 'S', 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(smallCfg(), wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Elapsed <= 0 {
+				t.Fatalf("%s elapsed %d", name, res.Elapsed)
+			}
+			if name != "ep" && res.PacketsDelivered == 0 {
+				t.Errorf("%s moved no packets", name)
+			}
+		})
+	}
+}
+
+func TestSixteenRankISClassS(t *testing.T) {
+	wl, err := Get("is", 'S', 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(smallCfg(), wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Interrupts == 0 {
+		t.Error("no interrupts recorded")
+	}
+}
+
+func TestGetValidation(t *testing.T) {
+	if _, err := Get("nope", 'S', 4); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Get("is", 'Z', 4); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := Get("bt", 'S', 6); err == nil {
+		t.Error("non-square rank count accepted for bt")
+	}
+	if _, err := Get("mg", 'S', 6); err == nil {
+		t.Error("non-power-of-two rank count accepted for mg")
+	}
+}
+
+func TestFtClassCReportsMemory(t *testing.T) {
+	wl, err := Get("ft", 'C', 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.MemOK {
+		t.Fatal("ft.C should be marked as exceeding platform memory")
+	}
+	if _, err := Run(smallCfg(), wl); err == nil {
+		t.Fatal("running ft.C should fail like the paper's platform")
+	}
+}
+
+func TestStrategiesChangeInterruptCount(t *testing.T) {
+	wl, err := Get("is", 'S', 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[nic.Strategy]uint64{}
+	for _, s := range []nic.Strategy{nic.StrategyDisabled, nic.StrategyTimeout, nic.StrategyOpenMX} {
+		cfg := smallCfg()
+		cfg.Strategy = s
+		res, err := Run(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s] = res.Interrupts
+	}
+	if counts[nic.StrategyDisabled] <= counts[nic.StrategyTimeout] {
+		t.Errorf("disabled (%d) should raise more interrupts than timeout (%d)",
+			counts[nic.StrategyDisabled], counts[nic.StrategyTimeout])
+	}
+	if counts[nic.StrategyOpenMX] > counts[nic.StrategyDisabled] {
+		t.Errorf("openmx (%d) raised more interrupts than disabled (%d)",
+			counts[nic.StrategyOpenMX], counts[nic.StrategyDisabled])
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	wl, err := Get("cg", 'S', 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() sim.Time {
+		res, err := Run(smallCfg(), wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("elapsed differs: %d vs %d", a, b)
+	}
+}
+
+func TestWorkloadNames(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("have %d benchmarks, want 8: %v", len(names), names)
+	}
+	wl, _ := Get("is", 'C', 16)
+	if wl.FullName() != "is.C.16" {
+		t.Errorf("FullName = %q", wl.FullName())
+	}
+	if got := Classes("is"); len(got) != 5 {
+		t.Errorf("is classes = %v", got)
+	}
+}

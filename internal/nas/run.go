@@ -1,0 +1,59 @@
+package nas
+
+import (
+	"fmt"
+
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/mpi"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/omx"
+	"openmxsim/internal/sim"
+)
+
+// Result captures one benchmark execution.
+type Result struct {
+	Workload string
+	// Elapsed is the benchmark execution time (max over ranks).
+	Elapsed sim.Time
+	// Interrupts raised across all NICs during the run (Table V).
+	Interrupts uint64
+	// Wakeups counts interrupts that hit sleeping cores.
+	Wakeups uint64
+	// PacketsDelivered across the fabric.
+	PacketsDelivered uint64
+	// NIC and stack statistics per node.
+	NICStats   []nic.Stats
+	StackStats []omx.Stats
+}
+
+// Run executes a workload on a freshly built cluster.
+func Run(cfg cluster.Config, wl *Workload) (*Result, error) {
+	if !wl.MemOK {
+		return nil, fmt.Errorf("nas: %s: not enough memory on the paper platform", wl.FullName())
+	}
+	if wl.Ranks%cfg.Nodes != 0 {
+		return nil, fmt.Errorf("nas: %d ranks do not divide across %d nodes", wl.Ranks, cfg.Nodes)
+	}
+	cl := cluster.New(cfg)
+	eps := cl.OpenEndpoints(wl.Ranks / cfg.Nodes)
+	w := mpi.NewWorld(cl, eps)
+	cm := wl.Setup(w)
+	elapsed, err := w.Run(func(r *mpi.Rank) { wl.Body(r, w, cm) })
+	if err != nil {
+		return nil, fmt.Errorf("nas: %s: %w", wl.FullName(), err)
+	}
+	res := &Result{
+		Workload:         wl.FullName(),
+		Elapsed:          elapsed,
+		Interrupts:       cl.Interrupts(),
+		PacketsDelivered: cl.Switch.FramesDelivered,
+	}
+	for _, h := range cl.Hosts {
+		res.Wakeups += h.Stats().Wakeups
+	}
+	for i, n := range cl.NICs {
+		res.NICStats = append(res.NICStats, n.Stats)
+		res.StackStats = append(res.StackStats, cl.Stacks[i].Stats)
+	}
+	return res, nil
+}

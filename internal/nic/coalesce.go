@@ -1,0 +1,300 @@
+package nic
+
+import (
+	"fmt"
+
+	"openmxsim/internal/sim"
+)
+
+// Strategy enumerates the interrupt coalescing strategies under study.
+type Strategy int
+
+const (
+	// StrategyDisabled raises one interrupt per packet (coalescing off,
+	// the "Disabled" column of the paper's tables).
+	StrategyDisabled Strategy = iota
+	// StrategyTimeout is classic timeout-based coalescing (the "Default"
+	// column at 75 us, and the Fig. 4 sweep).
+	StrategyTimeout
+	// StrategyOpenMX is the paper's Algorithm 1: interrupt immediately
+	// when a latency-sensitive (marked) packet's DMA completes; other
+	// packets obey the timeout.
+	StrategyOpenMX
+	// StrategyStream is the paper's Algorithm 2: like OpenMX, but a marked
+	// completion with other DMAs pending defers the interrupt until the
+	// NIC goes quiet, coalescing bursts of small messages.
+	StrategyStream
+	// StrategyAdaptive is the Section VI future-work extension: the
+	// timeout adapts to the observed packet rate.
+	StrategyAdaptive
+)
+
+var strategyNames = [...]string{"disabled", "timeout", "openmx", "stream", "adaptive"}
+
+func (s Strategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a name into a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for i, n := range strategyNames {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("nic: unknown strategy %q", name)
+}
+
+// coalescer is the per-queue firmware decision logic.
+type coalescer interface {
+	Name() string
+	// inspectsMarkers reports whether the firmware reads the
+	// latency-sensitive flag (only the paper's modified firmwares do).
+	inspectsMarkers() bool
+	// onDMAComplete runs when a packet's DMA finishes; pending is the
+	// number of other frames accepted but not yet DMA-complete.
+	onDMAComplete(d *RxDesc, pending int)
+	// onBacklog runs when a poll cycle ends with packets still queued
+	// (e.g. they arrived after the final ring check).
+	onBacklog()
+}
+
+func newCoalescer(cfg Config, q *rxQueue) coalescer {
+	switch cfg.Strategy {
+	case StrategyDisabled:
+		return &disabledCoalescer{q: q}
+	case StrategyTimeout:
+		return &timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}
+	case StrategyOpenMX:
+		return &omxCoalescer{timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}}
+	case StrategyStream:
+		return &streamCoalescer{omxCoalescer{timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}}, false}
+	case StrategyAdaptive:
+		c := &adaptiveCoalescer{timeoutCoalescer: timeoutCoalescer{q: q, delay: cfg.Delay}}
+		p := q.nic.p.NIC
+		if c.delay < p.AdaptiveMin {
+			c.delay = p.AdaptiveMin
+		}
+		return c
+	default:
+		panic(fmt.Sprintf("nic: unknown strategy %d", cfg.Strategy))
+	}
+}
+
+// rxQueue is one receive queue: completion ring + mask + strategy.
+type rxQueue struct {
+	nic       *NIC
+	idx       int
+	completed []*RxDesc
+	masked    bool
+	coal      coalescer
+}
+
+// disabledCoalescer: interrupt per packet.
+type disabledCoalescer struct{ q *rxQueue }
+
+func (c *disabledCoalescer) Name() string          { return "disabled" }
+func (c *disabledCoalescer) inspectsMarkers() bool { return false }
+
+func (c *disabledCoalescer) onDMAComplete(d *RxDesc, pending int) {
+	c.q.nic.requestInterrupt(c.q, causeImmediate)
+}
+
+func (c *disabledCoalescer) onBacklog() {
+	c.q.nic.requestInterrupt(c.q, causeImmediate)
+}
+
+// timeoutCoalescer: classic delay (+ optional max-frames) coalescing. The
+// timer is armed by the first completion after the previous interrupt, so an
+// isolated packet waits the full delay — the latency cost the paper
+// measures in Fig. 5.
+type timeoutCoalescer struct {
+	q         *rxQueue
+	delay     sim.Time
+	maxFrames int
+	timer     *sim.Event
+	count     int
+}
+
+func (c *timeoutCoalescer) Name() string {
+	return fmt.Sprintf("timeout(%dus)", c.delay/sim.Microsecond)
+}
+func (c *timeoutCoalescer) inspectsMarkers() bool { return false }
+
+func (c *timeoutCoalescer) onDMAComplete(d *RxDesc, pending int) {
+	c.count++
+	if c.maxFrames > 0 && c.count >= c.maxFrames {
+		c.fire()
+		return
+	}
+	c.arm()
+}
+
+func (c *timeoutCoalescer) onBacklog() { c.arm() }
+
+func (c *timeoutCoalescer) arm() {
+	if c.timer != nil {
+		return
+	}
+	c.timer = c.q.nic.eng.After(c.delay, func() {
+		c.timer = nil
+		c.fireTimeout()
+	})
+}
+
+func (c *timeoutCoalescer) fireTimeout() {
+	c.count = 0
+	if len(c.q.completed) == 0 {
+		return
+	}
+	c.q.nic.requestInterrupt(c.q, causeTimeout)
+}
+
+func (c *timeoutCoalescer) fire() {
+	if c.timer != nil {
+		c.timer.Cancel()
+		c.timer = nil
+	}
+	c.count = 0
+	c.q.nic.requestInterrupt(c.q, causeTimeout)
+}
+
+// omxCoalescer implements the paper's Algorithm 1 on top of the timeout
+// behaviour: a marked descriptor raises the interrupt at DMA completion.
+type omxCoalescer struct{ timeoutCoalescer }
+
+func (c *omxCoalescer) Name() string          { return fmt.Sprintf("openmx(%dus)", c.delay/sim.Microsecond) }
+func (c *omxCoalescer) inspectsMarkers() bool { return true }
+
+func (c *omxCoalescer) onDMAComplete(d *RxDesc, pending int) {
+	if d.Marked {
+		c.raiseMarked()
+		return
+	}
+	c.timeoutCoalescer.onDMAComplete(d, pending)
+}
+
+func (c *omxCoalescer) onBacklog() {
+	for _, d := range c.q.completed {
+		if d.Marked {
+			c.raiseMarked()
+			return
+		}
+	}
+	c.arm()
+}
+
+func (c *omxCoalescer) raiseMarked() {
+	if c.timer != nil {
+		c.timer.Cancel()
+		c.timer = nil
+	}
+	c.count = 0
+	c.q.nic.requestInterrupt(c.q, causeMarked)
+}
+
+// streamCoalescer implements the paper's Algorithm 2: marked completions
+// with other DMAs pending set a deferred flag instead of interrupting; the
+// interrupt fires when the NIC goes quiet (no DMA pending), coalescing the
+// whole burst into one interrupt. The coalescing timeout still bounds the
+// deferral for very long streams.
+type streamCoalescer struct {
+	omxCoalescer
+	deferred bool
+}
+
+func (c *streamCoalescer) Name() string { return fmt.Sprintf("stream(%dus)", c.delay/sim.Microsecond) }
+
+func (c *streamCoalescer) onDMAComplete(d *RxDesc, pending int) {
+	if pending == 0 {
+		if d.Marked || c.deferred {
+			c.deferred = false
+			if d.Marked {
+				c.raiseMarked()
+			} else {
+				c.raiseDeferred()
+			}
+			return
+		}
+		c.timeoutCoalescer.onDMAComplete(d, pending)
+		return
+	}
+	if d.Marked {
+		if !c.deferred {
+			c.deferred = true
+			c.q.nic.Stats.Deferred++
+		}
+		return
+	}
+	c.timeoutCoalescer.onDMAComplete(d, pending)
+}
+
+func (c *streamCoalescer) onBacklog() {
+	if c.deferred {
+		c.deferred = false
+		c.raiseDeferred()
+		return
+	}
+	c.omxCoalescer.onBacklog()
+}
+
+func (c *streamCoalescer) raiseDeferred() {
+	if c.timer != nil {
+		c.timer.Cancel()
+		c.timer = nil
+	}
+	c.count = 0
+	c.q.nic.requestInterrupt(c.q, causeMarked)
+}
+
+// adaptiveCoalescer adjusts the timeout with the observed packet rate
+// (Section VI): sparse traffic converges to the minimum delay (near
+// per-packet interrupts, good latency), dense traffic to the maximum (good
+// throughput). The paper's early tests found it "helps microbenchmarks but
+// cannot help real applications" because it only reacts to past traffic.
+type adaptiveCoalescer struct {
+	timeoutCoalescer
+	windowStart sim.Time
+	windowCount int
+}
+
+func (c *adaptiveCoalescer) Name() string          { return "adaptive" }
+func (c *adaptiveCoalescer) inspectsMarkers() bool { return false }
+
+func (c *adaptiveCoalescer) onDMAComplete(d *RxDesc, pending int) {
+	c.adapt()
+	c.timeoutCoalescer.onDMAComplete(d, pending)
+}
+
+func (c *adaptiveCoalescer) adapt() {
+	p := c.q.nic.p.NIC
+	now := c.q.nic.eng.Now()
+	if c.windowStart == 0 {
+		c.windowStart = now
+	}
+	c.windowCount++
+	if now-c.windowStart < p.AdaptiveWindow {
+		return
+	}
+	// Packets per window mapped linearly onto [AdaptiveMin, AdaptiveMax]:
+	// <= lo packets -> min delay; >= hi packets -> max delay.
+	const lo, hi = 4, 128
+	n := c.windowCount
+	c.windowCount = 0
+	c.windowStart = now
+	switch {
+	case n <= lo:
+		c.delay = p.AdaptiveMin
+	case n >= hi:
+		c.delay = p.AdaptiveMax
+	default:
+		span := int64(p.AdaptiveMax - p.AdaptiveMin)
+		c.delay = p.AdaptiveMin + sim.Time(span*int64(n-lo)/int64(hi-lo))
+	}
+}
+
+// Delay exposes the current adaptive delay for tests and diagnostics.
+func (c *adaptiveCoalescer) Delay() sim.Time { return c.delay }

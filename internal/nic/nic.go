@@ -1,0 +1,290 @@
+// Package nic models the Ethernet interface: receive firmware, the DMA
+// engine depositing packets into host memory, interrupt signalling with
+// NAPI-style masking, and — the paper's contribution — pluggable interrupt
+// coalescing strategies including the marker-driven Open-MX coalescing
+// (Algorithm 1) and Stream coalescing (Algorithm 2).
+package nic
+
+import (
+	"fmt"
+
+	"openmxsim/internal/fabric"
+	"openmxsim/internal/host"
+	"openmxsim/internal/params"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/wire"
+)
+
+// Driver is the host-side packet consumer (the Open-MX stack). Process is
+// invoked in IRQ context on core during a NAPI poll; the driver charges its
+// per-packet cost to the core and calls done when finished so the poll can
+// move to the next packet.
+type Driver interface {
+	Process(d *RxDesc, core *host.Core, done func())
+}
+
+// RxDesc is a completion-ring entry: either a frame DMA'd into host memory
+// or a transmit-done notification (myri10ge reports both through the same
+// ring and the same interrupt coalescing).
+type RxDesc struct {
+	Frame *wire.Frame
+	// TxDone marks a transmit-completion entry (Frame is nil).
+	TxDone bool
+	// Marked mirrors the latency-sensitive header flag, but only when the
+	// active firmware inspects markers (Open-MX/Stream strategies).
+	Marked bool
+	// Queue is the receive queue the frame hashed to.
+	Queue int
+	// ArrivedAt and DMADoneAt timestamp the frame's path through the NIC.
+	ArrivedAt sim.Time
+	DMADoneAt sim.Time
+}
+
+// Stats aggregates NIC counters.
+type Stats struct {
+	PacketsReceived uint64
+	PacketsSent     uint64
+	BytesReceived   uint64
+	BytesSent       uint64
+	// Interrupts actually raised to the host.
+	Interrupts uint64
+	// TimeoutFires counts interrupts raised by the coalescing timer.
+	TimeoutFires uint64
+	// MarkedImmediate counts interrupts raised for marked packets at DMA
+	// completion (Algorithm 1 path).
+	MarkedImmediate uint64
+	// Deferred counts marked interrupts deferred by Stream coalescing
+	// because other DMAs were pending (Algorithm 2 path).
+	Deferred uint64
+	// RingDrops counts frames dropped because the receive ring was full.
+	RingDrops uint64
+	// PollCycles counts NAPI poll sessions; PacketsPolled their packets.
+	PollCycles    uint64
+	PacketsPolled uint64
+}
+
+// NIC is one interface attached to a host and a fabric port.
+type NIC struct {
+	eng *sim.Engine
+	p   *params.Params
+	hst *host.Host
+	sw  *fabric.Switch
+	mac wire.MAC
+	drv Driver
+
+	queues []*rxQueue
+
+	fwBusyUntil  sim.Time
+	dmaBusyUntil sim.Time
+	txBusyUntil  sim.Time
+	inflight     int // frames accepted but whose DMA has not completed
+
+	Stats Stats
+}
+
+// Config selects the coalescing behaviour of a NIC.
+type Config struct {
+	Strategy Strategy
+	// Delay is the coalescing timeout (ignored by StrategyDisabled; the
+	// initial value for StrategyAdaptive).
+	Delay sim.Time
+	// MaxFrames, when > 0, forces an interrupt once this many frames are
+	// waiting (ethtool rx-frames).
+	MaxFrames int
+	// Queues is the number of receive queues (1 = stock single-queue NIC;
+	// > 1 enables the Section VI multiqueue extension).
+	Queues int
+}
+
+// New creates a NIC, attaches it to the switch under mac, and installs the
+// configured coalescing strategy.
+func New(eng *sim.Engine, p *params.Params, h *host.Host, sw *fabric.Switch, mac wire.MAC, cfg Config) *NIC {
+	if cfg.Queues <= 0 {
+		cfg.Queues = 1
+	}
+	n := &NIC{eng: eng, p: p, hst: h, sw: sw, mac: mac}
+	n.queues = make([]*rxQueue, cfg.Queues)
+	for i := range n.queues {
+		q := &rxQueue{nic: n, idx: i}
+		q.coal = newCoalescer(cfg, q)
+		n.queues[i] = q
+	}
+	sw.Attach(mac, n)
+	return n
+}
+
+// SetDriver binds the host-side packet consumer.
+func (n *NIC) SetDriver(d Driver) { n.drv = d }
+
+// MAC returns the interface address.
+func (n *NIC) MAC() wire.MAC { return n.mac }
+
+// Host returns the node this NIC interrupts.
+func (n *NIC) Host() *host.Host { return n.hst }
+
+// Strategy returns the active coalescing strategy name (queue 0).
+func (n *NIC) Strategy() string { return n.queues[0].coal.Name() }
+
+// Backlog returns the number of received-but-unprocessed packets.
+func (n *NIC) Backlog() int {
+	total := n.inflight
+	for _, q := range n.queues {
+		total += len(q.completed)
+	}
+	return total
+}
+
+// ReceiveFrame implements fabric.Receiver: a frame's last bit arrived.
+func (n *NIC) ReceiveFrame(f *wire.Frame) {
+	now := n.eng.Now()
+	if n.Backlog() >= n.p.NIC.RxRingEntries {
+		n.Stats.RingDrops++
+		return
+	}
+	q := n.queues[n.queueFor(f)]
+
+	// Firmware processes packets serially: descriptor creation and, for the
+	// marker-aware strategies, header inspection (plus the Stream
+	// strategy's extra bookkeeping).
+	fw := n.p.NIC.FirmwareRxPacket
+	if q.coal.inspectsMarkers() {
+		if _, isStream := q.coal.(*streamCoalescer); isStream {
+			fw += n.p.NIC.FirmwareStreamExtra
+		}
+	}
+	start := now
+	if n.fwBusyUntil > start {
+		start = n.fwBusyUntil
+	}
+	n.fwBusyUntil = start + fw
+
+	d := &RxDesc{Frame: f, Queue: q.idx, ArrivedAt: now}
+	if q.coal.inspectsMarkers() && f.Marked() {
+		d.Marked = true
+	}
+	n.inflight++
+	n.Stats.PacketsReceived++
+	n.Stats.BytesReceived += uint64(f.WireBytes())
+
+	n.eng.Schedule(n.fwBusyUntil, func() { n.submitDMA(q, d) })
+}
+
+func (n *NIC) submitDMA(q *rxQueue, d *RxDesc) {
+	now := n.eng.Now()
+	start := now
+	if n.dmaBusyUntil > start {
+		start = n.dmaBusyUntil
+	}
+	n.dmaBusyUntil = start + n.p.NIC.DMATime(d.Frame.PayloadLen+wire.HeaderLen)
+	n.eng.Schedule(n.dmaBusyUntil, func() {
+		n.inflight--
+		d.DMADoneAt = n.eng.Now()
+		q.completed = append(q.completed, d)
+		q.coal.onDMAComplete(d, n.inflight)
+	})
+}
+
+func (n *NIC) queueFor(f *wire.Frame) int {
+	if len(n.queues) == 1 {
+		return 0
+	}
+	// Hash the communication channel (source node + endpoint pair) so one
+	// channel's processing stays on one core (multiqueue extension).
+	h := uint32(2166136261)
+	for _, b := range f.Src {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(f.Header.SrcEP)) * 16777619
+	h = (h ^ uint32(f.Header.DstEP)) * 16777619
+	return int(h % uint32(len(n.queues)))
+}
+
+// requestInterrupt asks for an interrupt on q. If the queue is masked (a
+// poll is in progress) the request is absorbed: the in-flight poll will pick
+// the packets up, exactly like NAPI.
+func (n *NIC) requestInterrupt(q *rxQueue, cause interruptCause) {
+	if q.masked {
+		return
+	}
+	q.masked = true
+	n.Stats.Interrupts++
+	switch cause {
+	case causeTimeout:
+		n.Stats.TimeoutFires++
+	case causeMarked:
+		n.Stats.MarkedImmediate++
+	}
+	core := n.hst.IRQTarget(q.idx)
+	n.eng.After(n.p.NIC.MSIDelivery, func() {
+		core.SubmitIRQ(n.p.Host.IRQEntry, true, func() {
+			n.Stats.PollCycles++
+			n.pollNext(q, core, 0)
+		})
+	})
+}
+
+type interruptCause int
+
+const (
+	causeTimeout interruptCause = iota
+	causeMarked
+	causeImmediate // coalescing disabled
+)
+
+// pollNext is the NAPI poll loop: process up to budget packets, then close
+// the cycle and unmask.
+func (n *NIC) pollNext(q *rxQueue, core *host.Core, polled int) {
+	if len(q.completed) == 0 || polled >= n.p.Host.NAPIBudget {
+		core.SubmitIRQ(n.p.Host.NAPIPollEnd, false, func() {
+			if polled >= n.p.Host.NAPIBudget && len(q.completed) > 0 {
+				// Budget exhausted: NAPI reschedules the poll on the same
+				// core without re-enabling interrupts.
+				n.Stats.PollCycles++
+				n.pollNext(q, core, 0)
+				return
+			}
+			q.masked = false
+			if len(q.completed) > 0 {
+				// Packets slipped in between the last pop and the unmask.
+				q.coal.onBacklog()
+			}
+		})
+		return
+	}
+	d := q.completed[0]
+	copy(q.completed, q.completed[1:])
+	q.completed = q.completed[:len(q.completed)-1]
+	n.Stats.PacketsPolled++
+	n.drv.Process(d, core, func() {
+		n.pollNext(q, core, polled+1)
+	})
+}
+
+// SendFrame transmits a frame: the NIC fetches it by DMA, hands it to the
+// wire, and reports the transmit completion through the completion ring,
+// where it is subject to the same interrupt coalescing as received packets
+// (tx-done entries are never latency-sensitive, so only disabled coalescing
+// interrupts per transmission — a large part of why disabling coalescing
+// devastates message rate in Table I).
+func (n *NIC) SendFrame(f *wire.Frame) {
+	now := n.eng.Now()
+	start := now
+	if n.txBusyUntil > start {
+		start = n.txBusyUntil
+	}
+	n.txBusyUntil = start + n.p.NIC.TxTime(f.WireBytes())
+	n.Stats.PacketsSent++
+	n.Stats.BytesSent += uint64(f.WireBytes())
+	n.eng.Schedule(n.txBusyUntil, func() {
+		n.sw.Send(f)
+		q := n.queues[0] // the tx ring reports through queue 0
+		d := &RxDesc{TxDone: true, Queue: q.idx, DMADoneAt: n.eng.Now()}
+		q.completed = append(q.completed, d)
+		q.coal.onDMAComplete(d, n.inflight)
+	})
+}
+
+// String describes the NIC for diagnostics.
+func (n *NIC) String() string {
+	return fmt.Sprintf("nic(%s, %s, %dq)", n.mac, n.Strategy(), len(n.queues))
+}

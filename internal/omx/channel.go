@@ -1,0 +1,287 @@
+package omx
+
+import (
+	"openmxsim/internal/sim"
+	"openmxsim/internal/wire"
+)
+
+// channel is the reliable transport between one local endpoint and one
+// remote endpoint: a sequence space with a send window and cumulative acks
+// for eager traffic and the rendezvous/notify control packets. Pull
+// requests and replies recover independently (block re-requests), as in
+// MXoE.
+type channel struct {
+	ep     *Endpoint
+	remote Addr
+
+	connected  bool
+	connectCbs []func()
+	connectTry *sim.Event
+
+	// Sender-side reliability state.
+	nextSeq      uint32
+	firstUnacked uint32
+	txq          []*txPacket // waiting for window
+	retained     []*txPacket // sent, not yet acked
+	resendTimer  *sim.Event
+
+	// Receiver-side reliability state. recvNext is the next expected
+	// (contiguous) sequence; consumedTo is how far the library has
+	// consumed; ackedTo is the last cumulative ack sent. Acks cover only
+	// consumed sequences, so the sender's window is clocked by the
+	// application and the event ring stays bounded by the window.
+	recvNext   uint32
+	recvSeen   map[uint32]struct{}
+	consumedTo uint32
+	ackedTo    uint32
+	ackTimer   *sim.Event
+	// lastRxCoreID remembers which core last handled this channel's
+	// packets so timer-driven acks are charged there; -1 before any.
+	lastRxCoreID int
+
+	// Medium send slots: concurrent mediums per channel are bounded by
+	// the endpoint's send-ring capacity; excess sends queue here.
+	mediumActive  int
+	mediumPending []func()
+}
+
+type txPacket struct {
+	frame *wire.Frame
+	seq   uint32
+	onTx  func() // runs when the packet is handed to the NIC
+}
+
+// mediumReasm is the library-level reassembly state of one medium message
+// (Open-MX reassembles mediums in user space, one event per fragment).
+type mediumReasm struct {
+	msgID    uint32
+	match    uint64
+	total    int
+	frags    int
+	received int
+	seen     []bool
+	data     []byte // nil in size-only mode
+	src      Addr
+}
+
+func newChannel(ep *Endpoint, remote Addr) *channel {
+	return &channel{
+		ep:           ep,
+		remote:       remote,
+		recvSeen:     make(map[uint32]struct{}),
+		lastRxCoreID: -1,
+	}
+}
+
+func (c *channel) stack() *Stack { return c.ep.stack }
+
+// inWindow reports whether seq may be transmitted now.
+func (c *channel) inWindow(seq uint32) bool {
+	return int(seq-c.firstUnacked) < c.stack().p.Proto.SendWindow
+}
+
+// send enqueues a sequenced packet and pumps the window.
+func (c *channel) send(f *wire.Frame, onTx func()) {
+	pk := &txPacket{frame: f, seq: c.nextSeq, onTx: onTx}
+	f.Header.Seq = pk.seq
+	c.nextSeq++
+	c.txq = append(c.txq, pk)
+	c.pump()
+}
+
+// pump transmits queued packets while the window allows.
+func (c *channel) pump() {
+	for len(c.txq) > 0 && c.inWindow(c.txq[0].seq) {
+		pk := c.txq[0]
+		copy(c.txq, c.txq[1:])
+		c.txq = c.txq[:len(c.txq)-1]
+		c.retained = append(c.retained, pk)
+		c.stack().sendFrame(pk.frame)
+		if pk.onTx != nil {
+			pk.onTx()
+		}
+	}
+	c.armResend()
+}
+
+func (c *channel) armResend() {
+	if len(c.retained) == 0 {
+		if c.resendTimer != nil {
+			c.resendTimer.Cancel()
+			c.resendTimer = nil
+		}
+		return
+	}
+	if c.resendTimer != nil {
+		return
+	}
+	c.resendTimer = c.stack().eng.After(c.stack().p.Proto.ResendTimeout, func() {
+		c.resendTimer = nil
+		c.retransmit()
+	})
+}
+
+// retransmit resends every unacked packet (go-back-N recovery).
+func (c *channel) retransmit() {
+	for _, pk := range c.retained {
+		c.stack().Stats.Retransmits++
+		c.stack().sendFrame(cloneFrame(pk.frame))
+	}
+	c.armResend()
+}
+
+// onAck processes a cumulative ack: cum is the peer's next-expected seq.
+func (c *channel) onAck(cum uint32) {
+	c.stack().Stats.AcksReceived++
+	if int32(cum-c.firstUnacked) <= 0 {
+		return // stale
+	}
+	c.firstUnacked = cum
+	keep := c.retained[:0]
+	for _, pk := range c.retained {
+		if int32(pk.seq-cum) >= 0 {
+			keep = append(keep, pk)
+		}
+	}
+	c.retained = keep
+	if c.resendTimer != nil {
+		c.resendTimer.Cancel()
+		c.resendTimer = nil
+	}
+	c.armResend()
+	c.pump()
+}
+
+// acceptSeq deduplicates and advances the cumulative receive pointer.
+// Returns false for duplicates (which are re-acked but not reprocessed).
+func (c *channel) acceptSeq(seq uint32) bool {
+	if int32(seq-c.recvNext) < 0 {
+		c.stack().Stats.Duplicates++
+		c.sendAckNow() // immediate re-ack resynchronizes the sender
+		return false
+	}
+	if _, dup := c.recvSeen[seq]; dup {
+		c.stack().Stats.Duplicates++
+		c.sendAckNow()
+		return false
+	}
+	c.recvSeen[seq] = struct{}{}
+	for {
+		if _, ok := c.recvSeen[c.recvNext]; !ok {
+			break
+		}
+		delete(c.recvSeen, c.recvNext)
+		c.recvNext++
+	}
+	c.armKernelAck()
+	return true
+}
+
+// armKernelAck schedules the driver-side ack backstop: when the event ring
+// is nearly empty (the library is keeping up or briefly away), the driver
+// acks accepted sequences after AckDelay, so compute phases do not stall
+// the sender's window into retransmits. Under sustained receive pressure
+// the backstop stands down and acks stay consumption-clocked.
+func (c *channel) armKernelAck() {
+	if c.ackTimer != nil {
+		return
+	}
+	c.ackTimer = c.stack().eng.After(c.stack().p.Proto.AckDelay, func() {
+		c.ackTimer = nil
+		p := c.stack().p
+		if len(c.ep.ring) < p.Proto.EventRingEntries/16 {
+			if c.recvNext != c.ackedTo {
+				c.sendAck(false, c.recvNext)
+			}
+			return
+		}
+		if c.consumedTo != c.ackedTo {
+			c.sendAck(false, c.consumedTo)
+			return
+		}
+		c.armKernelAck() // still backed up: check again later
+	})
+}
+
+// noteConsumed runs when the library applies an event covering sequences
+// up to seq: every AckInterval consumed messages — or the ack-delay timer —
+// trigger the cumulative ack. Acks are never marked latency-sensitive;
+// that asymmetry is why the Open-MX coalescing firmware still beats
+// disabled coalescing on message rate (Section IV-C2).
+func (c *channel) noteConsumed(seq uint32) {
+	if int32(seq-c.consumedTo) > 0 {
+		c.consumedTo = seq
+	}
+	if int(c.consumedTo-c.ackedTo) >= c.stack().p.Proto.AckInterval {
+		c.sendAck(true, c.consumedTo)
+	}
+}
+
+func (c *channel) sendAckNow() {
+	seq := c.consumedTo
+	if int32(c.ackedTo-seq) > 0 {
+		seq = c.ackedTo // never regress a previously sent kernel ack
+	}
+	c.sendAck(false, seq)
+}
+
+// sendAck emits a cumulative ack up to seq. fromApp acks are generated by
+// the library as it consumes (charged to the application's core); kernel
+// acks (duplicate resync, delay-timer backstop) run in driver context on
+// the core that last handled the channel.
+func (c *channel) sendAck(fromApp bool, seq uint32) {
+	if int32(seq-c.ackedTo) > 0 {
+		c.ackedTo = seq
+	}
+	if c.ackTimer != nil {
+		c.ackTimer.Cancel()
+		c.ackTimer = nil
+	}
+	if int32(c.recvNext-c.ackedTo) > 0 {
+		// Accepted-but-unacked sequences remain: keep the backstop alive.
+		c.armKernelAck()
+	}
+	s := c.stack()
+	h := wire.Header{
+		Type:  wire.TypeAck,
+		SrcEP: c.ep.ID,
+		DstEP: c.remote.EP,
+		Aux:   c.ackedTo,
+	}
+	f := wire.NewFrame(s.MAC(), c.remote.MAC, h, nil, 0)
+	s.Stats.AcksSent++
+	if fromApp {
+		c.ep.core.SubmitUser(s.p.Driver.AckCost, func() {
+			s.sendFrame(f)
+		})
+		return
+	}
+	core := s.hst.Cores[0]
+	if c.lastRxCoreID >= 0 {
+		core = s.hst.Cores[c.lastRxCoreID]
+	}
+	core.SubmitIRQ(s.p.Driver.AckCost, false, func() {
+		s.sendFrame(f)
+	})
+}
+
+func cloneFrame(f *wire.Frame) *wire.Frame {
+	c := *f
+	return &c
+}
+
+// mediumDone releases the caller's medium send slot, handing it to the
+// next queued medium if any.
+func (c *channel) mediumDone() {
+	if len(c.mediumPending) > 0 {
+		next := c.mediumPending[0]
+		copy(c.mediumPending, c.mediumPending[1:])
+		c.mediumPending = c.mediumPending[:len(c.mediumPending)-1]
+		next() // the slot passes directly to the next message
+		return
+	}
+	c.mediumActive--
+	if c.mediumActive < 0 {
+		panic("omx: medium slot underflow")
+	}
+}

@@ -1,0 +1,612 @@
+package omx
+
+import (
+	"fmt"
+
+	"openmxsim/internal/host"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/wire"
+)
+
+// SendHandle tracks an in-progress send. Eager sends complete when their
+// last fragment is handed to the NIC (buffered semantics); large sends
+// complete when the receiver's Notify arrives (Fig. 3).
+type SendHandle struct {
+	Done   bool
+	Size   int
+	onDone func()
+}
+
+func (h *SendHandle) complete() {
+	if h.Done {
+		return
+	}
+	h.Done = true
+	if h.onDone != nil {
+		h.onDone()
+	}
+}
+
+// RecvHandle tracks a posted receive. Matching follows MX semantics: the
+// message matches when (msgMatch & Mask) == (Match & Mask).
+type RecvHandle struct {
+	Done  bool
+	Match uint64
+	Mask  uint64
+	// Buf, when non-nil, receives the data; Cap is the logical capacity
+	// for size-only operation.
+	Buf []byte
+	Cap int
+	// Src and Len describe the matched message once Done.
+	Src    Addr
+	MatchV uint64
+	Len    int
+	onDone func(*RecvHandle)
+}
+
+func (h *RecvHandle) complete() {
+	if h.Done {
+		return
+	}
+	h.Done = true
+	if h.onDone != nil {
+		h.onDone(h)
+	}
+}
+
+func (h *RecvHandle) matches(m uint64) bool {
+	return (m & h.Mask) == (h.Match & h.Mask)
+}
+
+type evKind int
+
+const (
+	evEager evKind = iota
+	evMediumFrag
+	evRendezvous
+	evPullDone
+	evNotifyRecvd
+)
+
+type event struct {
+	kind       evKind
+	src        Addr
+	match      uint64
+	data       []byte
+	size       int // message size (for mediums: total message size)
+	msgID      uint32
+	fragIdx    int         // evMediumFrag
+	fragCount  int         // evMediumFrag
+	rh         *RecvHandle // evPullDone
+	ch         *channel    // non-nil for sequenced packets: acked on consume
+	ackSeq     uint32      // cumulative sequence this event's consumption acks
+	writerCore int
+}
+
+type unexpMsg struct {
+	kind  evKind // evEager or evRendezvous
+	src   Addr
+	match uint64
+	data  []byte
+	size  int
+	msgID uint32
+}
+
+// Endpoint is an open MX endpoint: the unit an application rank talks to.
+type Endpoint struct {
+	stack *Stack
+	ID    uint8
+	core  *host.Core
+
+	channels  map[Addr]*channel
+	nextMsgID uint32
+
+	// Event ring from driver to library.
+	ring         []*event
+	lastWriter   int
+	pickupActive bool
+
+	// Library-level matching.
+	posted     []*RecvHandle
+	unexpected []*unexpMsg
+
+	// Library-level medium reassembly, keyed by (source, message id).
+	reasm map[pullKey]*mediumReasm
+
+	// Large-message state.
+	pulls   map[pullKey]*pullState // receiver side
+	pullSrc map[uint32]*largeSend  // sender side
+}
+
+func newEndpoint(s *Stack, id uint8, core *host.Core) *Endpoint {
+	return &Endpoint{
+		stack:      s,
+		ID:         id,
+		core:       core,
+		channels:   make(map[Addr]*channel),
+		lastWriter: -1,
+		reasm:      make(map[pullKey]*mediumReasm),
+		pulls:      make(map[pullKey]*pullState),
+		pullSrc:    make(map[uint32]*largeSend),
+	}
+}
+
+// Addr returns this endpoint's fabric address.
+func (e *Endpoint) Addr() Addr { return Addr{MAC: e.stack.MAC(), EP: e.ID} }
+
+// Core returns the core the owning rank is pinned to.
+func (e *Endpoint) Core() *host.Core { return e.core }
+
+func (e *Endpoint) channelFor(a Addr) *channel {
+	c, ok := e.channels[a]
+	if !ok {
+		c = newChannel(e, a)
+		e.channels[a] = c
+	}
+	return c
+}
+
+// Connect opens the channel to addr and calls cb once the handshake
+// completes. Intra-node channels connect immediately.
+func (e *Endpoint) Connect(addr Addr, cb func()) {
+	if e.stack.localEndpoint(addr) != nil {
+		if cb != nil {
+			e.core.SubmitUser(e.stack.p.Lib.SendPost, cb)
+		}
+		return
+	}
+	c := e.channelFor(addr)
+	if c.connected {
+		if cb != nil {
+			cb()
+		}
+		return
+	}
+	if cb != nil {
+		c.connectCbs = append(c.connectCbs, cb)
+	}
+	e.core.SubmitUser(e.stack.p.Lib.SendPost, func() {
+		e.sendConnect(c)
+	})
+}
+
+func (e *Endpoint) sendConnect(c *channel) {
+	if c.connected {
+		return
+	}
+	h := wire.Header{Type: wire.TypeConnect, SrcEP: e.ID, DstEP: c.remote.EP}
+	e.stack.sendFrame(wire.NewFrame(e.stack.MAC(), c.remote.MAC, h, nil, 0))
+	if c.connectTry != nil {
+		c.connectTry.Cancel()
+	}
+	c.connectTry = e.stack.eng.After(e.stack.p.Proto.ResendTimeout, func() {
+		c.connectTry = nil
+		e.sendConnect(c)
+	})
+}
+
+// Isend posts a non-blocking send. data may be nil for size-only
+// simulation. onDone (optional) fires in engine context at completion.
+func (e *Endpoint) Isend(dst Addr, match uint64, data []byte, size int, onDone func()) *SendHandle {
+	if data != nil {
+		size = len(data)
+	}
+	h := &SendHandle{Size: size, onDone: onDone}
+	p := e.stack.p
+
+	if local := e.stack.localEndpoint(dst); local != nil {
+		e.shmSend(local, match, data, size, h)
+		return h
+	}
+
+	switch {
+	case size <= p.Proto.SmallMax:
+		e.sendSmall(dst, match, data, size, h)
+	case size <= p.Proto.MediumMax:
+		e.sendMedium(dst, match, data, size, h)
+	default:
+		e.sendLarge(dst, match, data, size, h)
+	}
+	return h
+}
+
+// Irecv posts a non-blocking receive. buf may be nil (size-only); cap is
+// the logical buffer size in that case.
+func (e *Endpoint) Irecv(match, mask uint64, buf []byte, capacity int, onDone func(*RecvHandle)) *RecvHandle {
+	if buf != nil {
+		capacity = len(buf)
+	}
+	rh := &RecvHandle{Match: match, Mask: mask, Buf: buf, Cap: capacity, onDone: onDone}
+	p := e.stack.p
+	cost := p.Lib.RecvPost + p.Lib.Match
+	e.core.SubmitUser(cost, func() {
+		e.matchOrPost(rh)
+	})
+	return rh
+}
+
+// matchOrPost tries the unexpected queue, then appends to the posted queue.
+func (e *Endpoint) matchOrPost(rh *RecvHandle) {
+	for i, u := range e.unexpected {
+		if !rh.matches(u.match) {
+			continue
+		}
+		e.unexpected = append(e.unexpected[:i], e.unexpected[i+1:]...)
+		switch u.kind {
+		case evEager:
+			// Copy out of the unexpected buffer in user context.
+			cost := e.stack.p.Lib.CopyTime(min(u.size, rh.Cap)) + e.stack.p.Lib.PerMessage
+			e.core.SubmitUser(cost, func() {
+				deliverEager(rh, u.src, u.match, u.data, u.size)
+			})
+		case evRendezvous:
+			e.startPull(u.src, u.msgID, u.size, u.match, rh)
+		}
+		return
+	}
+	e.posted = append(e.posted, rh)
+}
+
+func deliverEager(rh *RecvHandle, src Addr, match uint64, data []byte, size int) {
+	rh.Src = src
+	rh.MatchV = match
+	rh.Len = size
+	if rh.Len > rh.Cap {
+		rh.Len = rh.Cap // truncation
+	}
+	if rh.Buf != nil && data != nil {
+		copy(rh.Buf, data[:min(len(data), len(rh.Buf))])
+	}
+	rh.complete()
+}
+
+// ---- send paths (user context) ----
+
+func (e *Endpoint) sendSmall(dst Addr, match uint64, data []byte, size int, h *SendHandle) {
+	p := e.stack.p
+	cost := p.Lib.SendPost + p.Driver.TxPacket + e.stack.hst.P.CopyTime(size)
+	e.core.SubmitUser(cost, func() {
+		typ := wire.TypeSmall
+		if size <= 32 {
+			typ = wire.TypeTiny
+		}
+		hd := wire.Header{
+			Type: typ, SrcEP: e.ID, DstEP: dst.EP,
+			Match: match, MsgID: e.allocMsgID(), Aux: uint32(size),
+			FragCount: 1,
+		}
+		if e.stack.Mark.Small {
+			hd.Flags |= wire.FlagLatencySensitive
+		}
+		f := wire.NewFrame(e.stack.MAC(), dst.MAC, hd, cloneData(data), size)
+		e.stack.Stats.SmallSent++
+		e.channelFor(dst).send(f, h.complete)
+	})
+}
+
+func (e *Endpoint) sendMedium(dst Addr, match uint64, data []byte, size int, h *SendHandle) {
+	p := e.stack.p
+	fragPayload := e.stack.eagerFragPayload()
+	frags := (size + fragPayload - 1) / fragPayload
+	if frags == 0 {
+		frags = 1
+	}
+	// The sender copies medium data into the driver's send ring: per-frag
+	// driver work plus the kernel copy, all in user (syscall) context.
+	cost := p.Lib.SendPost + sim.Time(frags)*p.Driver.TxPacket + e.stack.hst.P.CopyTime(size)
+	e.core.SubmitUser(cost, func() {
+		ch := e.channelFor(dst)
+		start := func() { e.emitMediumFrags(ch, dst, match, data, size, frags, h) }
+		if ch.mediumActive >= p.Proto.MediumInflight {
+			// The endpoint's send ring has no free medium slot: queue.
+			ch.mediumPending = append(ch.mediumPending, start)
+			return
+		}
+		ch.mediumActive++
+		start()
+	})
+	return
+}
+
+// emitMediumFrags owns one medium send slot: it paces the fragments onto
+// the channel and releases the slot when the last fragment reaches the NIC.
+func (e *Endpoint) emitMediumFrags(ch *channel, dst Addr, match uint64, data []byte, size, frags int, h *SendHandle) {
+	p := e.stack.p
+	fragPayload := e.stack.eagerFragPayload()
+	{
+		msgID := e.allocMsgID()
+		markIdx := frags - 1 - e.stack.Mark.MediumMarkShift
+		if markIdx < 0 {
+			markIdx = 0
+		}
+		e.stack.Stats.MediumSent++
+		// Fragments flow through the message's send-ring slots, paced
+		// ~MediumFragGap apart (ring handling and doorbells); concurrent
+		// messages pace independently.
+		now := e.stack.eng.Now()
+		release := now
+		for i := 0; i < frags; i++ {
+			off := i * fragPayload
+			plen := min(fragPayload, size-off)
+			hd := wire.Header{
+				Type: wire.TypeMediumFrag, SrcEP: e.ID, DstEP: dst.EP,
+				Match: match, MsgID: msgID, Aux: uint32(size),
+				FragIndex: uint16(i), FragCount: uint16(frags),
+			}
+			if i == frags-1 {
+				hd.Flags |= wire.FlagLastFragment
+			}
+			if e.stack.Mark.MediumLast && i == markIdx {
+				hd.Flags |= wire.FlagLatencySensitive
+			}
+			var fd []byte
+			if data != nil {
+				fd = data[off : off+plen]
+			}
+			f := wire.NewFrame(e.stack.MAC(), dst.MAC, hd, fd, plen)
+			var onTx func()
+			if i == frags-1 {
+				onTx = func() {
+					h.complete()
+					ch.mediumDone()
+				}
+			}
+			if release <= now {
+				ch.send(f, onTx)
+			} else {
+				f, onTx := f, onTx
+				e.stack.eng.Schedule(release, func() { ch.send(f, onTx) })
+			}
+			gap := p.Driver.MediumFragGap
+			if d := p.Driver.MediumFragGapJitterDiv; d > 0 && gap > 0 {
+				gap = e.stack.rng.Jitter(gap, gap/sim.Time(d))
+			}
+			release += gap
+		}
+	}
+}
+
+func (e *Endpoint) sendLarge(dst Addr, match uint64, data []byte, size int, h *SendHandle) {
+	p := e.stack.p
+	cost := p.Lib.SendPost + p.Driver.TxPacket
+	e.core.SubmitUser(cost, func() {
+		msgID := e.allocMsgID()
+		e.pullSrc[msgID] = &largeSend{msgID: msgID, data: data, size: size, handle: h, dst: dst}
+		hd := wire.Header{
+			Type: wire.TypeRendezvous, SrcEP: e.ID, DstEP: dst.EP,
+			Match: match, MsgID: msgID, Aux: uint32(size),
+		}
+		if e.stack.Mark.Rendezvous {
+			hd.Flags |= wire.FlagLatencySensitive
+		}
+		e.stack.Stats.LargeSent++
+		e.channelFor(dst).send(wire.NewFrame(e.stack.MAC(), dst.MAC, hd, nil, 0), nil)
+	})
+}
+
+func (e *Endpoint) shmSend(dst *Endpoint, match uint64, data []byte, size int, h *SendHandle) {
+	p := e.stack.p
+	cost := p.Lib.SendPost + p.Lib.CopyTime(size) + p.Lib.ShmLatency
+	e.core.SubmitUser(cost, func() {
+		e.stack.Stats.ShmSent++
+		h.complete()
+		dst.postEvent(&event{
+			kind: evEager, src: e.Addr(), match: match,
+			data: cloneData(data), size: size, writerCore: e.core.ID,
+		})
+	})
+}
+
+func (e *Endpoint) allocMsgID() uint32 {
+	e.nextMsgID++
+	return e.nextMsgID
+}
+
+func cloneData(d []byte) []byte {
+	if d == nil {
+		return nil
+	}
+	return append([]byte(nil), d...)
+}
+
+// ---- event ring & pickup (library side) ----
+
+// postEvent appends an event to the endpoint's shared ring and kicks the
+// library pickup chain. Returns false when the ring is full.
+func (e *Endpoint) postEvent(ev *event) bool {
+	if len(e.ring) >= e.stack.p.Proto.EventRingEntries {
+		e.stack.Stats.EventRingFull++
+		return false
+	}
+	e.ring = append(e.ring, ev)
+	e.kickPickup()
+	return true
+}
+
+func (e *Endpoint) ringHasSpace() bool {
+	return len(e.ring) < e.stack.p.Proto.EventRingEntries
+}
+
+func (e *Endpoint) kickPickup() {
+	if e.pickupActive || len(e.ring) == 0 {
+		return
+	}
+	e.pickupActive = true
+	cost := e.stack.p.Lib.Progress
+	if len(e.ring) > 0 && e.ring[0].writerCore != e.core.ID {
+		// The event ring's cache lines were last written by another core.
+		cost += e.stack.p.Host.CacheBounce
+	}
+	e.core.SubmitUser(cost, e.popOne)
+}
+
+func (e *Endpoint) popOne() {
+	if len(e.ring) == 0 {
+		e.pickupActive = false
+		return
+	}
+	ev := e.ring[0]
+	copy(e.ring, e.ring[1:])
+	e.ring = e.ring[:len(e.ring)-1]
+
+	p := e.stack.p
+	cost := p.Lib.EventPop
+	switch ev.kind {
+	case evEager:
+		cost += p.Lib.Match
+		if rh := e.peekMatch(ev.match); rh != nil {
+			cost += p.Lib.CopyTime(min(ev.size, rh.Cap)) + p.Lib.PerMessage
+		} else {
+			cost += p.Lib.CopyTime(ev.size) // unexpected buffering copy
+		}
+	case evMediumFrag:
+		// Library reassembly: copy the fragment out of the ring; the
+		// final fragment additionally matches and completes the message.
+		cost += p.Lib.FragEvent + p.Lib.CopyTime(len(ev.data))
+		if ev.data == nil {
+			cost += p.Lib.CopyTime(fragLenFor(e, ev))
+		}
+		if r, ok := e.reasm[pullKey{src: ev.src, msgID: ev.msgID}]; ok {
+			if r.received+1 == r.frags {
+				cost += p.Lib.Match + p.Lib.PerMessage
+			}
+		} else if ev.fragCount == 1 {
+			cost += p.Lib.Match + p.Lib.PerMessage
+		}
+	case evRendezvous:
+		cost += p.Lib.Match
+		if e.peekMatch(ev.match) != nil {
+			cost += sim.Time(p.Proto.PullParallel) * (p.Driver.PullRequestCost + p.Driver.TxPacket)
+		}
+	case evPullDone, evNotifyRecvd:
+		cost += p.Lib.PerMessage
+	}
+	e.core.SubmitUser(cost, func() {
+		e.applyEvent(ev)
+		e.popOne()
+	})
+}
+
+// peekMatch returns the first posted receive matching m without removing it.
+func (e *Endpoint) peekMatch(m uint64) *RecvHandle {
+	for _, rh := range e.posted {
+		if rh.matches(m) {
+			return rh
+		}
+	}
+	return nil
+}
+
+func (e *Endpoint) takeMatch(m uint64) *RecvHandle {
+	for i, rh := range e.posted {
+		if rh.matches(m) {
+			e.posted = append(e.posted[:i], e.posted[i+1:]...)
+			return rh
+		}
+	}
+	return nil
+}
+
+func (e *Endpoint) applyEvent(ev *event) {
+	if ev.ch != nil {
+		// Library-clocked ack: consuming the event acknowledges its
+		// sequenced packets.
+		ev.ch.noteConsumed(ev.ackSeq)
+	}
+	switch ev.kind {
+	case evEager:
+		if rh := e.takeMatch(ev.match); rh != nil {
+			deliverEager(rh, ev.src, ev.match, ev.data, ev.size)
+			return
+		}
+		e.stack.Stats.UnexpectedMsgs++
+		e.unexpected = append(e.unexpected, &unexpMsg{
+			kind: evEager, src: ev.src, match: ev.match, data: ev.data, size: ev.size,
+		})
+	case evMediumFrag:
+		e.applyMediumFrag(ev)
+	case evRendezvous:
+		if rh := e.takeMatch(ev.match); rh != nil {
+			e.startPull(ev.src, ev.msgID, ev.size, ev.match, rh)
+			return
+		}
+		e.stack.Stats.UnexpectedMsgs++
+		e.unexpected = append(e.unexpected, &unexpMsg{
+			kind: evRendezvous, src: ev.src, match: ev.match, size: ev.size, msgID: ev.msgID,
+		})
+	case evPullDone:
+		ev.rh.complete()
+	case evNotifyRecvd:
+		if ls, ok := e.pullSrc[ev.msgID]; ok {
+			delete(e.pullSrc, ev.msgID)
+			ls.handle.complete()
+		}
+	}
+}
+
+// fragLenFor computes the payload length of a medium fragment in size-only
+// mode (no data attached).
+func fragLenFor(e *Endpoint, ev *event) int {
+	fragPayload := e.stack.eagerFragPayload()
+	off := ev.fragIdx * fragPayload
+	n := ev.size - off
+	if n > fragPayload {
+		n = fragPayload
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// applyMediumFrag reassembles one medium fragment in the library and
+// delivers the message when complete.
+func (e *Endpoint) applyMediumFrag(ev *event) {
+	key := pullKey{src: ev.src, msgID: ev.msgID}
+	r, ok := e.reasm[key]
+	if !ok {
+		r = &mediumReasm{
+			msgID: ev.msgID, match: ev.match, total: ev.size,
+			frags: ev.fragCount, seen: make([]bool, ev.fragCount),
+			src: ev.src,
+		}
+		if ev.data != nil {
+			r.data = make([]byte, r.total)
+		}
+		e.reasm[key] = r
+	}
+	if ev.fragIdx >= r.frags || r.seen[ev.fragIdx] {
+		return // stray or duplicate fragment
+	}
+	r.seen[ev.fragIdx] = true
+	r.received++
+	if r.data != nil && ev.data != nil {
+		off := ev.fragIdx * e.stack.eagerFragPayload()
+		copy(r.data[off:], ev.data)
+	}
+	if r.received != r.frags {
+		return
+	}
+	delete(e.reasm, key)
+	e.stack.Stats.MediumRecvd++
+	if rh := e.takeMatch(r.match); rh != nil {
+		deliverEager(rh, r.src, r.match, r.data, r.total)
+		return
+	}
+	e.stack.Stats.UnexpectedMsgs++
+	e.unexpected = append(e.unexpected, &unexpMsg{
+		kind: evEager, src: r.src, match: r.match, data: r.data, size: r.total,
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String describes the endpoint.
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("endpoint(%s)", e.Addr())
+}

@@ -1,0 +1,238 @@
+package omx
+
+import (
+	"fmt"
+
+	"openmxsim/internal/host"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/wire"
+)
+
+// The large-message protocol (Fig. 3 of the paper): the sender announces
+// with a Rendezvous; once a matching receive is posted, the receiver pulls
+// the data with PullRequests of up to PullBlockFrags fragments each,
+// keeping PullParallel requests in flight so the wire never drains; the
+// final fragment triggers a Notify back to the sender.
+
+// largeSend is the sender-side record of an announced large message.
+type largeSend struct {
+	msgID  uint32
+	data   []byte
+	size   int
+	handle *SendHandle
+	dst    Addr
+}
+
+type pullKey struct {
+	src   Addr
+	msgID uint32
+}
+
+// pullState is the receiver-side progress of one large transfer.
+type pullState struct {
+	ep        *Endpoint
+	src       Addr
+	msgID     uint32
+	total     int
+	match     uint64
+	rh        *RecvHandle
+	frags     int
+	blocks    int
+	nextBlock int
+	received  int
+	seen      []bool
+	perBlock  []int
+	timers    map[int]*sim.Event
+	done      bool
+}
+
+func (ps *pullState) blockSize(b int) int {
+	per := ps.ep.stack.p.Proto.PullBlockFrags
+	n := ps.frags - b*per
+	if n > per {
+		n = per
+	}
+	return n
+}
+
+// startPull begins pulling a matched rendezvous. Runs in user context (the
+// library asked the driver to start the pull); subsequent block requests
+// are issued by the driver from the receive handler.
+func (e *Endpoint) startPull(src Addr, msgID uint32, total int, match uint64, rh *RecvHandle) {
+	p := e.stack.p
+	replyPayload := p.Proto.PullReplyPayload
+	frags := (total + replyPayload - 1) / replyPayload
+	if frags == 0 {
+		frags = 1
+	}
+	if frags > 0xFFFF {
+		panic(fmt.Sprintf("omx: %d-byte message needs %d pull fragments (wire limit 65535)", total, frags))
+	}
+	blocks := (frags + p.Proto.PullBlockFrags - 1) / p.Proto.PullBlockFrags
+
+	rh.Src = src
+	rh.MatchV = match
+	rh.Len = total
+	if rh.Len > rh.Cap {
+		rh.Len = rh.Cap
+	}
+
+	ps := &pullState{
+		ep: e, src: src, msgID: msgID, total: total, match: match, rh: rh,
+		frags: frags, blocks: blocks,
+		seen:     make([]bool, frags),
+		perBlock: make([]int, blocks),
+		timers:   make(map[int]*sim.Event),
+	}
+	e.pulls[pullKey{src: src, msgID: msgID}] = ps
+
+	first := p.Proto.PullParallel
+	if first > blocks {
+		first = blocks
+	}
+	for b := 0; b < first; b++ {
+		e.issuePullRequest(ps, b)
+	}
+	ps.nextBlock = first
+}
+
+// issuePullRequest sends the request for one block and arms its retry timer.
+func (e *Endpoint) issuePullRequest(ps *pullState, block int) {
+	p := e.stack.p
+	hd := wire.Header{
+		Type: wire.TypePullRequest, SrcEP: e.ID, DstEP: ps.src.EP,
+		MsgID: ps.msgID, Aux: uint32(ps.total),
+		FragIndex: uint16(block), FragCount: uint16(ps.blockSize(block)),
+	}
+	if e.stack.Mark.PullRequest {
+		hd.Flags |= wire.FlagLatencySensitive
+	}
+	e.stack.Stats.PullRequestsSent++
+	e.stack.sendFrame(wire.NewFrame(e.stack.MAC(), ps.src.MAC, hd, nil, 0))
+
+	if t, ok := ps.timers[block]; ok {
+		t.Cancel()
+	}
+	ps.timers[block] = e.stack.eng.After(p.Proto.ResendTimeout, func() {
+		delete(ps.timers, block)
+		if ps.done || ps.perBlock[block] == ps.blockSize(block) {
+			return
+		}
+		e.stack.Stats.PullBlockRetries++
+		e.issuePullRequest(ps, block)
+	})
+}
+
+// handlePullRequest runs on the data holder: emit one block of replies.
+// Reply generation cost was charged by the rx dispatch; the NIC serializes
+// the actual transmissions.
+func (e *Endpoint) handlePullRequest(f *wire.Frame) {
+	h := &f.Header
+	ls, ok := e.pullSrc[h.MsgID]
+	if !ok {
+		return // stale or duplicate request for a finished transfer
+	}
+	p := e.stack.p
+	replyPayload := p.Proto.PullReplyPayload
+	totalFrags := (ls.size + replyPayload - 1) / replyPayload
+	if totalFrags == 0 {
+		totalFrags = 1
+	}
+	block := int(h.FragIndex)
+	start := block * p.Proto.PullBlockFrags
+	n := totalFrags - start
+	if n > p.Proto.PullBlockFrags {
+		n = p.Proto.PullBlockFrags
+	}
+	if n <= 0 {
+		return
+	}
+	src := Addr{MAC: f.Src, EP: h.SrcEP}
+	for i := 0; i < n; i++ {
+		frag := start + i
+		off := frag * replyPayload
+		plen := ls.size - off
+		if plen > replyPayload {
+			plen = replyPayload
+		}
+		rh := wire.Header{
+			Type: wire.TypePullReply, SrcEP: e.ID, DstEP: src.EP,
+			MsgID: ls.msgID, Aux: uint32(off), FragIndex: uint16(frag),
+			FragCount: uint16(totalFrags),
+		}
+		if i == n-1 {
+			rh.Flags |= wire.FlagLastFragment
+			if e.stack.Mark.PullLastReply {
+				rh.Flags |= wire.FlagLatencySensitive
+			}
+		}
+		var data []byte
+		if ls.data != nil {
+			data = ls.data[off : off+plen]
+		}
+		e.stack.Stats.PullRepliesSent++
+		e.stack.sendFrame(wire.NewFrame(e.stack.MAC(), src.MAC, rh, data, plen))
+	}
+}
+
+// handlePullReply runs on the puller for each arriving fragment.
+func (e *Endpoint) handlePullReply(ps *pullState, f *wire.Frame, core *host.Core) {
+	if ps == nil || ps.done {
+		return
+	}
+	h := &f.Header
+	frag := int(h.FragIndex)
+	if frag >= ps.frags || ps.seen[frag] {
+		e.stack.Stats.Duplicates++
+		return
+	}
+	ps.seen[frag] = true
+	ps.received++
+	p := e.stack.p
+	b := frag / p.Proto.PullBlockFrags
+	ps.perBlock[b]++
+
+	// Deposit the fragment into the user buffer (kernel copy, cost already
+	// charged by the rx dispatch).
+	if ps.rh.Buf != nil && f.Payload != nil {
+		off := int(h.Aux)
+		if off < len(ps.rh.Buf) {
+			copy(ps.rh.Buf[off:], f.Payload)
+		}
+	}
+
+	if ps.perBlock[b] == ps.blockSize(b) {
+		if t, ok := ps.timers[b]; ok {
+			t.Cancel()
+			delete(ps.timers, b)
+		}
+		if ps.nextBlock < ps.blocks {
+			// Pipeline the next request straight from the handler.
+			e.issuePullRequest(ps, ps.nextBlock)
+			ps.nextBlock++
+		}
+	}
+
+	if ps.received == ps.frags {
+		ps.done = true
+		for _, t := range ps.timers {
+			t.Cancel()
+		}
+		ps.timers = nil
+		delete(e.pulls, pullKey{src: ps.src, msgID: ps.msgID})
+		e.stack.Stats.LargeRecvd++
+
+		// Notify the sender (sequenced, marked per policy).
+		nh := wire.Header{
+			Type: wire.TypeNotify, SrcEP: e.ID, DstEP: ps.src.EP,
+			MsgID: ps.msgID,
+		}
+		if e.stack.Mark.Notify {
+			nh.Flags |= wire.FlagLatencySensitive
+		}
+		e.channelFor(ps.src).send(wire.NewFrame(e.stack.MAC(), ps.src.MAC, nh, nil, 0), nil)
+
+		// Tell the application.
+		e.postEvent(&event{kind: evPullDone, src: ps.src, rh: ps.rh, writerCore: core.ID})
+	}
+}

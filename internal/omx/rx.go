@@ -1,0 +1,167 @@
+package omx
+
+import (
+	"openmxsim/internal/host"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/wire"
+)
+
+// rxCostAndEffect computes the IRQ-context processing cost of a packet and
+// the protocol state transition to apply at its completion. The cost phase
+// only inspects state; the effect phase mutates it. Packets within one NAPI
+// poll are processed strictly in sequence, so peeking is race-free.
+func (e *Endpoint) rxCostAndEffect(f *wire.Frame, core *host.Core, cold bool) (sim.Time, func()) {
+	h := &f.Header
+	p := e.stack.p
+	src := Addr{MAC: f.Src, EP: h.SrcEP}
+	base := p.Host.RxHandlerPacket
+
+	switch h.Type {
+	case wire.TypeConnect:
+		return base + p.Driver.ConnectCost, func() {
+			c := e.channelFor(src)
+			c.lastRxCoreID = core.ID
+			reply := wire.Header{Type: wire.TypeConnectReply, SrcEP: e.ID, DstEP: src.EP}
+			e.stack.sendFrame(wire.NewFrame(e.stack.MAC(), src.MAC, reply, nil, 0))
+		}
+
+	case wire.TypeConnectReply:
+		return base + p.Driver.ConnectCost, func() {
+			c := e.channelFor(src)
+			if c.connected {
+				return
+			}
+			c.connected = true
+			if c.connectTry != nil {
+				c.connectTry.Cancel()
+				c.connectTry = nil
+			}
+			cbs := c.connectCbs
+			c.connectCbs = nil
+			for _, cb := range cbs {
+				cb()
+			}
+		}
+
+	case wire.TypeAck:
+		return base + p.Driver.AckCost, func() {
+			e.channelFor(src).onAck(h.Aux)
+		}
+
+	case wire.TypeNack:
+		return base + p.Driver.AckCost, func() {
+			e.channelFor(src).retransmit()
+		}
+
+	case wire.TypeTiny, wire.TypeSmall:
+		cost := base + p.Driver.RxEager + e.stack.rxCopyTime(f.PayloadLen, cold) + p.Driver.EventWrite
+		return cost, func() {
+			c := e.channelFor(src)
+			c.lastRxCoreID = core.ID
+			if !e.ringHasSpace() {
+				// Do not ack: the sender will retransmit once the
+				// application drains the ring.
+				e.stack.Stats.EventRingFull++
+				return
+			}
+			if !c.acceptSeq(h.Seq) {
+				return
+			}
+			e.stack.Stats.SmallRecvd++
+			e.postEvent(&event{
+				kind: evEager, src: src, match: h.Match, ch: c, ackSeq: c.recvNext,
+				data: clonePayload(f), size: int(h.Aux), writerCore: core.ID,
+			})
+		}
+
+	case wire.TypeMediumFrag:
+		// Each fragment is copied into the ring and delivered as its own
+		// event; the library reassembles in user space, like Open-MX.
+		c := e.channelFor(src)
+		cost := base + p.Driver.RxEager + e.stack.rxCopyTime(f.PayloadLen, cold) + p.Driver.EventWrite
+		return cost, func() {
+			c.lastRxCoreID = core.ID
+			if !e.ringHasSpace() {
+				e.stack.Stats.EventRingFull++
+				return
+			}
+			if !c.acceptSeq(h.Seq) {
+				return
+			}
+			e.postEvent(&event{
+				kind: evMediumFrag, src: src, match: h.Match, ch: c, ackSeq: c.recvNext,
+				data: clonePayload(f), size: int(h.Aux), msgID: h.MsgID,
+				fragIdx: int(h.FragIndex), fragCount: int(h.FragCount),
+				writerCore: core.ID,
+			})
+		}
+
+	case wire.TypeRendezvous:
+		return base + p.Driver.RxEager + p.Driver.EventWrite, func() {
+			c := e.channelFor(src)
+			c.lastRxCoreID = core.ID
+			if !e.ringHasSpace() {
+				e.stack.Stats.EventRingFull++
+				return
+			}
+			if !c.acceptSeq(h.Seq) {
+				return
+			}
+			e.postEvent(&event{
+				kind: evRendezvous, src: src, match: h.Match, ch: c, ackSeq: c.recvNext,
+				size: int(h.Aux), msgID: h.MsgID, writerCore: core.ID,
+			})
+		}
+
+	case wire.TypePullRequest:
+		// The sender's driver answers pull requests straight from the
+		// receive handler: one block of replies per request.
+		cost := base + p.Driver.RxPull + sim.Time(h.FragCount)*p.Driver.TxPacket
+		return cost, func() {
+			e.handlePullRequest(f)
+		}
+
+	case wire.TypePullReply:
+		ps := e.pulls[pullKey{src: src, msgID: h.MsgID}]
+		cost := base + p.Driver.RxPull + e.stack.pullCopyTime(f.PayloadLen, cold)
+		frag := int(h.FragIndex)
+		if ps != nil && !ps.done && frag < ps.frags && !ps.seen[frag] {
+			b := frag / p.Proto.PullBlockFrags
+			if ps.perBlock[b]+1 == ps.blockSize(b) && ps.nextBlock < ps.blocks {
+				cost += p.Driver.PullRequestCost + p.Driver.TxPacket
+			}
+			if ps.received+1 == ps.frags {
+				cost += p.Driver.EventWrite + p.Driver.TxPacket // notify
+			}
+		}
+		return cost, func() {
+			e.handlePullReply(ps, f, core)
+		}
+
+	case wire.TypeNotify:
+		return base + p.Driver.RxEager + p.Driver.EventWrite, func() {
+			c := e.channelFor(src)
+			c.lastRxCoreID = core.ID
+			if !e.ringHasSpace() {
+				e.stack.Stats.EventRingFull++
+				return
+			}
+			if !c.acceptSeq(h.Seq) {
+				return
+			}
+			e.postEvent(&event{kind: evNotifyRecvd, src: src, msgID: h.MsgID, ch: c, ackSeq: c.recvNext, writerCore: core.ID})
+		}
+
+	default:
+		return p.Host.RxDropPacket, func() {
+			e.stack.Stats.InvalidDropped++
+		}
+	}
+}
+
+func clonePayload(f *wire.Frame) []byte {
+	if f.Payload == nil {
+		return nil
+	}
+	return append([]byte(nil), f.Payload...)
+}

@@ -1,0 +1,139 @@
+// Package proc provides deterministic process-style coroutines over the
+// event engine: each simulated rank runs straight-line blocking code in its
+// own goroutine, but control strictly alternates between the engine and at
+// most one rank at a time, so simulations remain bit-reproducible and free
+// of data races by construction.
+package proc
+
+import (
+	"fmt"
+
+	"openmxsim/internal/host"
+	"openmxsim/internal/sim"
+)
+
+type killSentinel struct{}
+
+// Proc is one simulated process (MPI rank).
+type Proc struct {
+	Name string
+
+	resume  chan struct{}
+	yield   chan struct{}
+	waiting bool
+	done    bool
+	killed  bool
+	started bool
+}
+
+// New creates a process; Start launches it.
+func New(name string) *Proc {
+	return &Proc{
+		Name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+}
+
+// Start schedules the process body to begin at virtual time at. The body
+// runs in its own goroutine but only while the engine is blocked on it.
+func (p *Proc) Start(eng *sim.Engine, at sim.Time, fn func()) {
+	if p.started {
+		panic("proc: double Start")
+	}
+	p.started = true
+	go p.run(fn)
+	eng.Schedule(at, p.step)
+}
+
+func (p *Proc) run(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killSentinel); !ok {
+				panic(r) // real bug in rank code: crash loudly
+			}
+		}
+		p.done = true
+		p.yield <- struct{}{}
+	}()
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	fn()
+}
+
+// step transfers control to the process until it blocks or finishes.
+// It must only be called from engine context.
+func (p *Proc) step() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// block parks the process until the next Wake. Must be called from the
+// process goroutine.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+}
+
+// Wait blocks the process until cond() is true. cond is evaluated in
+// process context; Wake re-evaluates it.
+func (p *Proc) Wait(cond func() bool) {
+	for !cond() {
+		p.waiting = true
+		p.block()
+		p.waiting = false
+	}
+}
+
+// Wake resumes a process blocked in Wait. Calling it when the process is
+// not waiting is a harmless no-op (the condition is re-checked before any
+// block). Must be called from engine context.
+func (p *Proc) Wake() {
+	if p.done || !p.waiting {
+		return
+	}
+	p.step()
+}
+
+// Done reports whether the process body returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Waiting reports whether the process is blocked in Wait.
+func (p *Proc) Waiting() bool { return p.waiting }
+
+// Kill aborts a blocked process (used to tear down abandoned simulations
+// without leaking goroutines). Must be called from engine context.
+func (p *Proc) Kill() {
+	if p.done {
+		return
+	}
+	p.killed = true
+	if !p.started {
+		return
+	}
+	p.step()
+	if !p.done {
+		panic(fmt.Sprintf("proc: %s survived Kill", p.Name))
+	}
+}
+
+// Advance charges d nanoseconds of user-context work (a compute phase) to
+// core and blocks the process until it completes. Interrupt load on the
+// core stretches the phase, which is how interrupt processing steals
+// application time in the NAS runs.
+func (p *Proc) Advance(core *host.Core, d sim.Time) {
+	done := false
+	core.SubmitUser(d, func() {
+		done = true
+		p.Wake()
+	})
+	p.Wait(func() bool { return done })
+}

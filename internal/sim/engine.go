@@ -1,0 +1,182 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All model time is virtual, expressed in integer nanoseconds (Time). Events
+// scheduled for the same instant fire in scheduling order (FIFO), which makes
+// every simulation bit-reproducible for a given seed regardless of host
+// scheduling or garbage collection — the property that lets this repository
+// measure sub-microsecond interrupt effects from Go.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp or duration in nanoseconds.
+type Time = int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it (e.g. a coalescing timer that is reset when the
+// interrupt fires early).
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 once popped
+	cancelled bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// Cancel prevents the event's callback from running. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; the process layer (internal/proc) serializes all access.
+type Engine struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	// Executed counts callbacks run, for diagnostics and budget guards.
+	Executed uint64
+	// Limit, when non-zero, aborts Run with a panic after this many events.
+	// It exists to catch runaway protocol loops in tests.
+	Limit uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events still scheduled (including cancelled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule runs fn at virtual time at. Scheduling in the past panics: it is
+// always a model bug.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Step runs the next event, if any, advancing the clock to it. It reports
+// whether an event ran.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.Executed++
+		if e.Limit > 0 && e.Executed > e.Limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.Limit, e.now))
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t, then sets the clock to t
+// (if it is ahead of the last event).
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.queue.peek()
+		if ev == nil || ev.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// eventHeap orders events by (time, sequence), giving FIFO order at equal
+// timestamps.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+func (h eventHeap) peek() *Event {
+	// Skip cancelled heads lazily: the heap root is the only cheap peek.
+	for len(h) > 0 && h[0].cancelled {
+		return h[0] // caller Steps; Step discards cancelled events
+	}
+	if len(h) == 0 {
+		return nil
+	}
+	return h[0]
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, d := range []Time{50, 10, 30, 20, 40} {
+		d := d
+		e.After(d, func() { got = append(got, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at t=%d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineFIFOAtSameTimestamp(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.After(10, func() {
+		times = append(times, e.Now())
+		e.After(5, func() { times = append(times, e.Now()) })
+		e.Schedule(e.Now(), func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 10, 15}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times %v, want %v", times, want)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.After(10, func() { ran = true })
+	e.After(5, func() { ev.Cancel() })
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	ev := e.After(10, func() { n++ })
+	e.Run()
+	ev.Cancel() // must be a harmless no-op
+	if n != 1 {
+		t.Fatalf("event ran %d times, want 1", n)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		e.After(d, func() { fired = append(fired, e.Now()) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %d after RunUntil(25)", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d after RunUntil(100)", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.After(1, func() { n++; e.Stop() })
+	e.After(2, func() { n++ })
+	e.Run()
+	if n != 1 {
+		t.Fatalf("ran %d events before stop, want 1", n)
+	}
+	e.Run() // resumes
+	if n != 2 {
+		t.Fatalf("ran %d events after resume, want 2", n)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineLimitGuard(t *testing.T) {
+	e := NewEngine()
+	e.Limit = 10
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(1, loop)
+	defer func() {
+		if recover() == nil {
+			t.Error("event limit did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d on empty engine", e.Pending())
+	}
+	e.After(1, func() {})
+	e.After(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+// Property: for any set of delays, the engine visits them in sorted order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var got []Time
+		for _, d := range delays {
+			e.After(Time(d), func() { got = append(got, e.Now()) })
+		}
+		e.Run()
+		want := make([]Time, len(delays))
+		for i, d := range delays {
+			want[i] = Time(d)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved scheduling and stepping never yields a time decrease.
+func TestEngineMonotonicClock(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(42))
+	last := Time(0)
+	for i := 0; i < 1000; i++ {
+		e.After(Time(r.Intn(100)), func() {})
+		if r.Intn(2) == 0 {
+			e.Step()
+		}
+		if e.Now() < last {
+			t.Fatalf("clock went backwards: %d -> %d", last, e.Now())
+		}
+		last = e.Now()
+	}
+}
+
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if i%2 == 1 {
+			e.Step()
+		}
+	}
+	for e.Step() {
+	}
+}

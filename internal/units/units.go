@@ -1,0 +1,69 @@
+// Package units holds byte-size constants and human-readable formatting for
+// durations, sizes, and rates used throughout the benchmark output.
+package units
+
+import "fmt"
+
+// Byte-size constants.
+const (
+	B   = 1
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+)
+
+// FormatBytes renders a byte count in the paper's style (1B, 128B, 32kiB,
+// 1MiB).
+func FormatBytes(n int) string {
+	switch {
+	case n >= GiB && n%GiB == 0:
+		return fmt.Sprintf("%dGiB", n/GiB)
+	case n >= MiB && n%MiB == 0:
+		return fmt.Sprintf("%dMiB", n/MiB)
+	case n >= KiB && n%KiB == 0:
+		return fmt.Sprintf("%dkiB", n/KiB)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// FormatDuration renders virtual nanoseconds with a natural unit.
+func FormatDuration(ns int64) string {
+	switch {
+	case ns >= 10_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// FormatRate renders an events-per-second rate in the paper's style
+// (490k, 14507, 452).
+func FormatRate(perSec float64) string {
+	switch {
+	case perSec >= 100_000:
+		return fmt.Sprintf("%.0fk", perSec/1000)
+	case perSec >= 10_000:
+		return fmt.Sprintf("%.0f", perSec)
+	default:
+		return fmt.Sprintf("%.0f", perSec)
+	}
+}
+
+// FormatCount renders a large count in the paper's style (86.4k, 1.93M).
+func FormatCount(n float64) string {
+	switch {
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fM", n/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fk", n/1e3)
+	default:
+		return fmt.Sprintf("%.0f", n)
+	}
+}

@@ -1,0 +1,65 @@
+package units
+
+import "testing"
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{
+		0:           "0B",
+		1:           "1B",
+		128:         "128B",
+		1024:        "1kiB",
+		32 * KiB:    "32kiB",
+		234 * KiB:   "234kiB",
+		MiB:         "1MiB",
+		GiB:         "1GiB",
+		1500:        "1500B",
+		3 * KiB / 2: "1536B",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[int64]string{
+		5:              "5ns",
+		1500:           "1.5us",
+		705_000:        "705.0us",
+		2_500_000:      "2.50ms",
+		1_234_000_000:  "1.234s",
+		32_750_000_000: "32.75s",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := map[float64]string{
+		490_000: "490k",
+		14_507:  "14507",
+		452:     "452",
+	}
+	for in, want := range cases {
+		if got := FormatRate(in); got != want {
+			t.Errorf("FormatRate(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[float64]string{
+		86_400:    "86.4k",
+		1_930_000: "1.93M",
+		42:        "42",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

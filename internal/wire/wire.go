@@ -1,0 +1,271 @@
+// Package wire defines the MXoE-style Open-MX wire format used by the
+// simulated stack: an Ethernet frame carrying a fixed 32-byte Open-MX header
+// and an optional payload.
+//
+// The format follows the structure of the Myrinet Express over Ethernet
+// specification as described in the paper: eager small messages (single
+// packet), eager medium fragments, and the rendezvous / pull-request /
+// pull-reply / notify packets of the large-message protocol, plus acks and
+// connection management. The one addition over stock MXoE is the
+// latency-sensitive marker flag set by the sender driver, which is the
+// paper's contribution (Section III-B).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// EtherTypeOMX is Open-MX's registered EtherType.
+const EtherTypeOMX = 0x86DF
+
+// EthernetHeaderLen is the classic dst+src+type framing length.
+const EthernetHeaderLen = 14
+
+// HeaderLen is the fixed Open-MX header size carried inside the MTU.
+const HeaderLen = 32
+
+// Version is the wire protocol version this package implements.
+const Version = 1
+
+// PacketType enumerates the Open-MX packet kinds.
+type PacketType uint8
+
+const (
+	// TypeInvalid marks an intentionally malformed packet (used by the
+	// interrupt-overhead microbenchmark: dropped immediately on receive).
+	TypeInvalid PacketType = iota
+	// TypeConnect opens a communication channel between two endpoints.
+	TypeConnect
+	// TypeConnectReply completes the connect handshake.
+	TypeConnectReply
+	// TypeTiny is an eager message up to 32 bytes (data inline with event).
+	TypeTiny
+	// TypeSmall is an eager message up to 128 bytes, one packet.
+	TypeSmall
+	// TypeMediumFrag is one fragment of an eager message up to 32 KiB.
+	TypeMediumFrag
+	// TypeRendezvous announces a large message (> 32 KiB).
+	TypeRendezvous
+	// TypePullRequest asks the sender for a block of up to 32 fragments.
+	TypePullRequest
+	// TypePullReply carries one fragment of pulled data.
+	TypePullReply
+	// TypeNotify tells the sender the pull completed.
+	TypeNotify
+	// TypeAck acknowledges received eager messages (cumulative).
+	TypeAck
+	// TypeNack requests retransmission after a drop was detected.
+	TypeNack
+	typeCount
+)
+
+var typeNames = [...]string{
+	"invalid", "connect", "connect-reply", "tiny", "small", "medium-frag",
+	"rendezvous", "pull-request", "pull-reply", "notify", "ack", "nack",
+}
+
+func (t PacketType) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a defined packet type.
+func (t PacketType) Valid() bool { return t > TypeInvalid && t < typeCount }
+
+// Header flags.
+const (
+	// FlagLatencySensitive is the paper's marker: the sender driver sets it
+	// on packets the NIC should interrupt for as soon as their DMA
+	// completes (small messages, last medium fragment, rendezvous, pull
+	// requests, last pull reply of a block, notify).
+	FlagLatencySensitive uint8 = 1 << 0
+	// FlagLastFragment marks the final fragment of a medium message or the
+	// final reply of a pull block (informational; marking policy decides
+	// whether it also carries FlagLatencySensitive).
+	FlagLastFragment uint8 = 1 << 1
+)
+
+// Header is the fixed-size Open-MX packet header.
+//
+// Layout (32 bytes, big-endian):
+//
+//	0     version
+//	1     type
+//	2     flags
+//	3     src endpoint
+//	4     dst endpoint
+//	5     reserved
+//	6-7   payload length
+//	8-11  sequence number (per-channel, eager reliability)
+//	12-15 message id
+//	16-23 match information (MX 64-bit tag)
+//	24-27 aux (message total length, pull offset, or cumulative ack seq)
+//	28-29 fragment / block index
+//	30-31 fragment count / block fragment count
+type Header struct {
+	Version   uint8
+	Type      PacketType
+	Flags     uint8
+	SrcEP     uint8
+	DstEP     uint8
+	Length    uint16
+	Seq       uint32
+	MsgID     uint32
+	Match     uint64
+	Aux       uint32
+	FragIndex uint16
+	FragCount uint16
+}
+
+// Marked reports whether the latency-sensitive flag is set.
+func (h *Header) Marked() bool { return h.Flags&FlagLatencySensitive != 0 }
+
+// Errors returned by Decode and Validate.
+var (
+	ErrShortBuffer = errors.New("wire: buffer shorter than header")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadType     = errors.New("wire: invalid packet type")
+)
+
+// Encode writes the header into buf, which must be at least HeaderLen bytes.
+func (h *Header) Encode(buf []byte) error {
+	if len(buf) < HeaderLen {
+		return ErrShortBuffer
+	}
+	buf[0] = h.Version
+	buf[1] = uint8(h.Type)
+	buf[2] = h.Flags
+	buf[3] = h.SrcEP
+	buf[4] = h.DstEP
+	buf[5] = 0
+	binary.BigEndian.PutUint16(buf[6:8], h.Length)
+	binary.BigEndian.PutUint32(buf[8:12], h.Seq)
+	binary.BigEndian.PutUint32(buf[12:16], h.MsgID)
+	binary.BigEndian.PutUint64(buf[16:24], h.Match)
+	binary.BigEndian.PutUint32(buf[24:28], h.Aux)
+	binary.BigEndian.PutUint16(buf[28:30], h.FragIndex)
+	binary.BigEndian.PutUint16(buf[30:32], h.FragCount)
+	return nil
+}
+
+// Decode parses a header from buf without validating semantic fields.
+func (h *Header) Decode(buf []byte) error {
+	if len(buf) < HeaderLen {
+		return ErrShortBuffer
+	}
+	h.Version = buf[0]
+	h.Type = PacketType(buf[1])
+	h.Flags = buf[2]
+	h.SrcEP = buf[3]
+	h.DstEP = buf[4]
+	h.Length = binary.BigEndian.Uint16(buf[6:8])
+	h.Seq = binary.BigEndian.Uint32(buf[8:12])
+	h.MsgID = binary.BigEndian.Uint32(buf[12:16])
+	h.Match = binary.BigEndian.Uint64(buf[16:24])
+	h.Aux = binary.BigEndian.Uint32(buf[24:28])
+	h.FragIndex = binary.BigEndian.Uint16(buf[28:30])
+	h.FragCount = binary.BigEndian.Uint16(buf[30:32])
+	return nil
+}
+
+// Validate checks version and type. The receive handler drops packets that
+// fail validation (this is the path the overhead microbenchmark exercises).
+func (h *Header) Validate() error {
+	if h.Version != Version {
+		return ErrBadVersion
+	}
+	if !h.Type.Valid() {
+		return ErrBadType
+	}
+	return nil
+}
+
+// MAC is an Ethernet hardware address.
+type MAC [6]byte
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// NodeMAC returns a deterministic locally-administered MAC for node i.
+func NodeMAC(i int) MAC {
+	return MAC{0x02, 0x4d, 0x58, byte(i >> 16), byte(i >> 8), byte(i)}
+}
+
+// Frame is one Ethernet frame in flight. Payload may be nil for size-only
+// simulation (large benchmark runs), in which case PayloadLen carries the
+// logical size; when Payload is non-nil the two agree.
+type Frame struct {
+	Src, Dst   MAC
+	Header     Header
+	Payload    []byte
+	PayloadLen int
+}
+
+// NewFrame builds a frame and keeps Length/PayloadLen consistent.
+func NewFrame(src, dst MAC, h Header, payload []byte, payloadLen int) *Frame {
+	if payload != nil {
+		payloadLen = len(payload)
+	}
+	h.Version = Version
+	h.Length = uint16(payloadLen)
+	return &Frame{Src: src, Dst: dst, Header: h, Payload: payload, PayloadLen: payloadLen}
+}
+
+// WireBytes is the frame's size on the wire: Ethernet framing + Open-MX
+// header + payload. (Preamble/IFG overhead is charged by the link model.)
+func (f *Frame) WireBytes() int {
+	n := EthernetHeaderLen + HeaderLen + f.PayloadLen
+	if n < 60 { // Ethernet minimum frame (without FCS)
+		n = 60
+	}
+	return n
+}
+
+// Marked reports whether the frame carries the latency-sensitive marker.
+func (f *Frame) Marked() bool { return f.Header.Marked() }
+
+// EncodeFrame serializes the full frame (framing + header + payload) for
+// tests that exercise the byte-level format end to end.
+func EncodeFrame(f *Frame) []byte {
+	buf := make([]byte, EthernetHeaderLen+HeaderLen+f.PayloadLen)
+	copy(buf[0:6], f.Dst[:])
+	copy(buf[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeOMX)
+	if err := f.Header.Encode(buf[EthernetHeaderLen:]); err != nil {
+		panic(err) // buffer is sized above; cannot happen
+	}
+	if f.Payload != nil {
+		copy(buf[EthernetHeaderLen+HeaderLen:], f.Payload)
+	}
+	return buf
+}
+
+// DecodeFrame parses bytes produced by EncodeFrame.
+func DecodeFrame(buf []byte) (*Frame, error) {
+	if len(buf) < EthernetHeaderLen+HeaderLen {
+		return nil, ErrShortBuffer
+	}
+	if binary.BigEndian.Uint16(buf[12:14]) != EtherTypeOMX {
+		return nil, fmt.Errorf("wire: not an Open-MX frame")
+	}
+	f := &Frame{}
+	copy(f.Dst[:], buf[0:6])
+	copy(f.Src[:], buf[6:12])
+	if err := f.Header.Decode(buf[EthernetHeaderLen:]); err != nil {
+		return nil, err
+	}
+	f.PayloadLen = int(f.Header.Length)
+	rest := buf[EthernetHeaderLen+HeaderLen:]
+	if len(rest) < f.PayloadLen {
+		return nil, fmt.Errorf("wire: truncated payload: have %d want %d", len(rest), f.PayloadLen)
+	}
+	if f.PayloadLen > 0 {
+		f.Payload = append([]byte(nil), rest[:f.PayloadLen]...)
+	}
+	return f, nil
+}

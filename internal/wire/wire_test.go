@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleHeader() Header {
+	return Header{
+		Version:   Version,
+		Type:      TypeMediumFrag,
+		Flags:     FlagLatencySensitive | FlagLastFragment,
+		SrcEP:     3,
+		DstEP:     5,
+		Length:    1468,
+		Seq:       0xDEADBEEF,
+		MsgID:     42,
+		Match:     0x1122334455667788,
+		Aux:       32768,
+		FragIndex: 22,
+		FragCount: 23,
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	buf := make([]byte, HeaderLen)
+	if err := h.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Header
+	if err := got.Decode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+// Property: every header round-trips through its wire encoding.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(typ, flags, src, dst uint8, length uint16, seq, msgID uint32,
+		match uint64, aux uint32, fi, fc uint16) bool {
+		h := Header{
+			Version: Version, Type: PacketType(typ % uint8(typeCount)),
+			Flags: flags, SrcEP: src, DstEP: dst, Length: length,
+			Seq: seq, MsgID: msgID, Match: match, Aux: aux,
+			FragIndex: fi, FragCount: fc,
+		}
+		buf := make([]byte, HeaderLen)
+		if err := h.Encode(buf); err != nil {
+			return false
+		}
+		var got Header
+		if err := got.Decode(buf); err != nil {
+			return false
+		}
+		return got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeShortBuffer(t *testing.T) {
+	h := sampleHeader()
+	if err := h.Encode(make([]byte, HeaderLen-1)); err != ErrShortBuffer {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+	var g Header
+	if err := g.Decode(make([]byte, 3)); err != ErrShortBuffer {
+		t.Fatalf("decode err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	h := sampleHeader()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+	bad := h
+	bad.Version = 99
+	if err := bad.Validate(); err != ErrBadVersion {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+	bad = h
+	bad.Type = TypeInvalid
+	if err := bad.Validate(); err != ErrBadType {
+		t.Fatalf("err = %v, want ErrBadType", err)
+	}
+	bad.Type = typeCount
+	if err := bad.Validate(); err != ErrBadType {
+		t.Fatalf("err = %v, want ErrBadType", err)
+	}
+}
+
+func TestMarked(t *testing.T) {
+	h := Header{}
+	if h.Marked() {
+		t.Fatal("unmarked header reports Marked")
+	}
+	h.Flags = FlagLatencySensitive
+	if !h.Marked() {
+		t.Fatal("marked header reports !Marked")
+	}
+}
+
+func TestPacketTypeString(t *testing.T) {
+	if TypeSmall.String() != "small" {
+		t.Errorf("TypeSmall = %q", TypeSmall.String())
+	}
+	if TypePullReply.String() != "pull-reply" {
+		t.Errorf("TypePullReply = %q", TypePullReply.String())
+	}
+	if PacketType(200).String() != "type(200)" {
+		t.Errorf("unknown type = %q", PacketType(200).String())
+	}
+}
+
+func TestNodeMACDistinct(t *testing.T) {
+	seen := map[MAC]bool{}
+	for i := 0; i < 64; i++ {
+		m := NodeMAC(i)
+		if seen[m] {
+			t.Fatalf("duplicate MAC for node %d", i)
+		}
+		seen[m] = true
+	}
+	if NodeMAC(0).String() != "02:4d:58:00:00:00" {
+		t.Errorf("MAC string = %s", NodeMAC(0))
+	}
+}
+
+func TestFrameWireBytes(t *testing.T) {
+	h := Header{Type: TypeSmall}
+	// Tiny frames are padded to the Ethernet minimum of 60 bytes.
+	f := NewFrame(NodeMAC(0), NodeMAC(1), h, nil, 0)
+	if f.WireBytes() != 60 {
+		t.Errorf("empty frame wire bytes = %d, want 60", f.WireBytes())
+	}
+	f = NewFrame(NodeMAC(0), NodeMAC(1), h, nil, 1468)
+	if want := EthernetHeaderLen + HeaderLen + 1468; f.WireBytes() != want {
+		t.Errorf("1468B frame wire bytes = %d, want %d", f.WireBytes(), want)
+	}
+}
+
+func TestNewFrameConsistency(t *testing.T) {
+	h := Header{Type: TypeSmall}
+	data := []byte("hello world")
+	f := NewFrame(NodeMAC(0), NodeMAC(1), h, data, 999)
+	if f.PayloadLen != len(data) {
+		t.Errorf("PayloadLen = %d, want %d (payload wins over hint)", f.PayloadLen, len(data))
+	}
+	if int(f.Header.Length) != len(data) {
+		t.Errorf("Header.Length = %d, want %d", f.Header.Length, len(data))
+	}
+	if f.Header.Version != Version {
+		t.Errorf("Version not stamped")
+	}
+}
+
+func TestFrameEncodeDecodeRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	payload := bytes.Repeat([]byte{0xA5}, int(h.Length))
+	f := NewFrame(NodeMAC(1), NodeMAC(2), h, payload, 0)
+	buf := EncodeFrame(f)
+	got, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != f.Src || got.Dst != f.Dst {
+		t.Errorf("MAC mismatch: %v->%v", got.Src, got.Dst)
+	}
+	if got.Header != f.Header {
+		t.Errorf("header mismatch: %+v vs %+v", got.Header, f.Header)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	if _, err := DecodeFrame(make([]byte, 10)); err == nil {
+		t.Error("short frame accepted")
+	}
+	f := NewFrame(NodeMAC(0), NodeMAC(1), Header{Type: TypeSmall}, []byte("abc"), 0)
+	buf := EncodeFrame(f)
+	buf[12], buf[13] = 0x08, 0x00 // IPv4 ethertype
+	if _, err := DecodeFrame(buf); err == nil {
+		t.Error("non-OMX ethertype accepted")
+	}
+	buf = EncodeFrame(f)
+	if _, err := DecodeFrame(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

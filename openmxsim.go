@@ -1,0 +1,151 @@
+// Package openmxsim reproduces the system and evaluation of "Finding a
+// Tradeoff between Host Interrupt Load and MPI Latency over Ethernet"
+// (Goglin & Furmento, IEEE Cluster 2009) as a deterministic discrete-event
+// simulation: the Open-MX message-passing stack over generic Ethernet, a
+// NIC model with the paper's marker-driven interrupt-coalescing firmwares,
+// a host model with NAPI, C1E sleep and cache-bounce effects, a mini-MPI,
+// and the NAS Parallel Benchmark workloads.
+//
+// The public API wires complete testbeds and runs the paper's experiments:
+//
+//	cfg := openmxsim.PaperPlatform()
+//	cfg.Strategy = openmxsim.StrategyOpenMX
+//	lat, _ := openmxsim.PingPong(cfg, []int{128}, 30)
+//	fmt.Println(lat[128]) // one-way 128B latency in virtual ns
+//
+// All time is virtual (nanoseconds), so results are exact, reproducible,
+// and immune to the host's GC or scheduling.
+package openmxsim
+
+import (
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/exp"
+	"openmxsim/internal/mpi"
+	"openmxsim/internal/nas"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/omx"
+	"openmxsim/internal/params"
+	"openmxsim/internal/sim"
+)
+
+// Time is a virtual duration or timestamp in nanoseconds.
+type Time = sim.Time
+
+// Time unit constants.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Strategy selects the NIC interrupt-coalescing behaviour.
+type Strategy = nic.Strategy
+
+// The five coalescing strategies under study.
+const (
+	// StrategyDisabled interrupts per packet.
+	StrategyDisabled = nic.StrategyDisabled
+	// StrategyTimeout is classic delay-based coalescing (the default).
+	StrategyTimeout = nic.StrategyTimeout
+	// StrategyOpenMX is the paper's Algorithm 1 (marker-driven).
+	StrategyOpenMX = nic.StrategyOpenMX
+	// StrategyStream is the paper's Algorithm 2 (burst deferral).
+	StrategyStream = nic.StrategyStream
+	// StrategyAdaptive adapts the delay to traffic (Section VI).
+	StrategyAdaptive = nic.StrategyAdaptive
+)
+
+// ParseStrategy converts a strategy name ("disabled", "timeout", "openmx",
+// "stream", "adaptive") into a Strategy.
+func ParseStrategy(name string) (Strategy, error) { return nic.ParseStrategy(name) }
+
+// Config describes a simulated testbed; the zero value is not useful, start
+// from PaperPlatform.
+type Config = cluster.Config
+
+// Cluster is a wired testbed (hosts, NICs, switch, Open-MX stacks).
+type Cluster = cluster.Cluster
+
+// PaperPlatform returns the paper's evaluation platform: two 8-core nodes
+// with Myri-10G-like NICs at MTU 1500, 75 us default coalescing,
+// round-robin IRQs, C1E sleep enabled.
+func PaperPlatform() Config { return cluster.Paper() }
+
+// NewCluster builds a testbed from cfg.
+func NewCluster(cfg Config) *Cluster { return cluster.New(cfg) }
+
+// DefaultParams returns the calibrated model parameter set; assign a
+// modified copy to Config.Params to explore the design space.
+func DefaultParams() *params.Params { return params.Default() }
+
+// NewWorld opens ranksPerNode endpoints per node on a fresh cluster and
+// returns the MPI world spanning them.
+func NewWorld(cfg Config, ranksPerNode int) (*Cluster, *mpi.World) {
+	cl := cluster.New(cfg)
+	eps := cl.OpenEndpoints(ranksPerNode)
+	return cl, mpi.NewWorld(cl, eps)
+}
+
+// Rank is an MPI process; World is an MPI job. See internal/mpi for the
+// full point-to-point and collective API.
+type (
+	Rank  = mpi.Rank
+	World = mpi.World
+	Comm  = mpi.Comm
+)
+
+// MarkPolicy controls which packets the sender flags latency-sensitive.
+type MarkPolicy = omx.MarkPolicy
+
+// DefaultMarkPolicy marks the paper's Section III-B set.
+func DefaultMarkPolicy() MarkPolicy { return omx.DefaultMarkPolicy() }
+
+// PingPong measures mean one-way transfer times (ns) between two ranks on
+// different nodes for each message size.
+func PingPong(cfg Config, sizes []int, iters int) (map[int]Time, error) {
+	return exp.PingPongLatency(cfg, sizes, iters)
+}
+
+// MessageRate measures the sustained receiver-side message rate (msg/s)
+// for a unidirectional stream of size-byte messages.
+func MessageRate(cfg Config, size int, warmup, measure Time) float64 {
+	return exp.MessageRate(cfg, size, warmup, measure)
+}
+
+// NASResult is one NAS benchmark execution.
+type NASResult = nas.Result
+
+// RunNAS executes a NAS Parallel Benchmark (is, ft, cg, mg, ep, lu, bt,
+// sp) of the given class ('S', 'W', 'A', 'B', 'C') with the given rank
+// count on a fresh cluster.
+func RunNAS(cfg Config, name string, class byte, ranks int) (*NASResult, error) {
+	wl, err := nas.Get(name, class, ranks)
+	if err != nil {
+		return nil, err
+	}
+	return nas.Run(cfg, wl)
+}
+
+// NASBenchmarks lists the available benchmark names.
+func NASBenchmarks() []string { return nas.Names() }
+
+// Experiment options and reports (the paper's tables and figures).
+type (
+	Options = exp.Options
+	Report  = exp.Report
+)
+
+// Experiments lists the available experiment ids in the paper's order.
+func Experiments() []string { return exp.IDs() }
+
+// DescribeExperiment returns the one-line description of an experiment.
+func DescribeExperiment(id string) string { return exp.Describe(id) }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, opts Options) (*Report, error) {
+	r, err := exp.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	return r(opts), nil
+}

@@ -1,0 +1,99 @@
+package openmxsim
+
+import (
+	"testing"
+
+	"openmxsim/internal/sim"
+)
+
+func TestPaperPlatformShape(t *testing.T) {
+	cfg := PaperPlatform()
+	if cfg.Nodes != 2 {
+		t.Errorf("paper platform has %d nodes, want 2", cfg.Nodes)
+	}
+	cl := NewCluster(cfg)
+	if len(cl.Hosts) != 2 || len(cl.Hosts[0].Cores) != 8 {
+		t.Errorf("paper platform: %d hosts x %d cores, want 2x8", len(cl.Hosts), len(cl.Hosts[0].Cores))
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	s, err := ParseStrategy("stream")
+	if err != nil || s != StrategyStream {
+		t.Fatalf("ParseStrategy(stream) = %v, %v", s, err)
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+}
+
+func TestPingPongLatencyOrdering(t *testing.T) {
+	// The paper's core latency claim: for small messages,
+	// disabled ~= openmx << timeout-75us.
+	lat := map[Strategy]sim.Time{}
+	for _, s := range []Strategy{StrategyTimeout, StrategyDisabled, StrategyOpenMX} {
+		cfg := PaperPlatform()
+		cfg.Strategy = s
+		m, err := PingPong(cfg, []int{128}, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[s] = m[128]
+	}
+	if lat[StrategyTimeout] < 60*Microsecond {
+		t.Errorf("timeout-75us small latency %v, want >= ~75us", lat[StrategyTimeout])
+	}
+	if lat[StrategyDisabled] > 20*Microsecond {
+		t.Errorf("disabled small latency %v, want ~10us", lat[StrategyDisabled])
+	}
+	if lat[StrategyOpenMX] > 2*lat[StrategyDisabled] {
+		t.Errorf("openmx latency %v not close to disabled %v", lat[StrategyOpenMX], lat[StrategyDisabled])
+	}
+}
+
+func TestMessageRatePositive(t *testing.T) {
+	cfg := PaperPlatform()
+	rate := MessageRate(cfg, 128, 5*Millisecond, 20*Millisecond)
+	if rate < 50_000 {
+		t.Fatalf("128B message rate %.0f/s implausibly low", rate)
+	}
+}
+
+func TestRunNASQuick(t *testing.T) {
+	cfg := PaperPlatform()
+	res, err := RunNAS(cfg, "is", 'S', 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed <= 0 || res.Interrupts == 0 {
+		t.Fatalf("suspicious NAS result: %+v", res)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for _, id := range ids {
+		if DescribeExperiment(id) == "" {
+			t.Errorf("experiment %s has no description", id)
+		}
+	}
+	if _, err := RunExperiment("bogus", Options{}); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}
+
+func TestRunExperimentOverhead(t *testing.T) {
+	rep, err := RunExperiment("overhead", Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("overhead report has %d rows, want 4", len(rep.Rows))
+	}
+	if rep.String() == "" || rep.CSV() == "" {
+		t.Fatal("empty report rendering")
+	}
+}
