@@ -8,9 +8,11 @@
 //	omxbench -quick                 # reduced durations (for CI)
 //	omxbench -list                  # available experiments
 //	omxbench -csv                   # CSV instead of aligned tables
+//	omxbench -json                  # JSON (for BENCH_*.json trajectories)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced durations/iterations")
 	seed := flag.Uint64("seed", 1, "simulation seed (equal seeds reproduce bit-identical results)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -40,6 +43,10 @@ func main() {
 		ids = strings.Split(*run, ",")
 	}
 	opts := exp.Options{Seed: *seed, Quick: *quick}
+	// In JSON mode the reports accumulate into one array so stdout is a
+	// single valid document even with -run all (and `[]`, not `null`, when
+	// nothing ran).
+	reports := []*exp.Report{}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		runner, err := exp.Get(id)
@@ -49,11 +56,22 @@ func main() {
 		}
 		start := time.Now()
 		rep := runner(opts)
-		if *csv {
+		switch {
+		case *jsonOut:
+			reports = append(reports, rep)
+		case *csv:
 			fmt.Print(rep.CSV())
-		} else {
+		default:
 			fmt.Println(rep)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+	if *jsonOut {
+		b, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", b)
 	}
 }

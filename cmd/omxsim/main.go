@@ -8,9 +8,11 @@
 //	omxsim -workload rate -strategy disabled -size 0
 //	omxsim -workload nas -bench is -class B -ranks 16 -strategy stream
 //	omxsim -workload pingpong -strategy timeout -delay 30 -irq single -nosleep
+//	omxsim -workload rate -strategy stream -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ func main() {
 	queues := flag.Int("queues", 1, "NIC receive queues")
 	nosleep := flag.Bool("nosleep", false, "disable C1E idle sleep")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
 
 	st, err := nic.ParseStrategy(*strategy)
@@ -50,16 +53,24 @@ func main() {
 	cfg.CoalesceDelay = sim.Time(*delay) * sim.Microsecond
 	cfg.SleepDisabled = *nosleep
 	cfg.Queues = *queues
-	switch *irq {
-	case "all":
-		cfg.IRQPolicy = host.IRQRoundRobin
-	case "single":
-		cfg.IRQPolicy = host.IRQSingleCore
-	case "perqueue":
-		cfg.IRQPolicy = host.IRQPerQueue
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -irq %q\n", *irq)
+	cfg.IRQPolicy, err = host.ParseIRQPolicy(*irq)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	// emit prints v as JSON when -json is set; otherwise it runs text().
+	emit := func(v any, text func()) {
+		if !*jsonOut {
+			text()
+			return
+		}
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", b)
 	}
 
 	switch *workload {
@@ -69,12 +80,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("one-way %s latency: %s (%s, delay %dus, irq %s)\n",
-			units.FormatBytes(*size), units.FormatDuration(lat[*size]), st, *delay, *irq)
+		emit(map[string]any{
+			"workload": "pingpong", "strategy": st.String(), "delay_us": *delay,
+			"irq": cfg.IRQPolicy.String(), "size_bytes": *size,
+			"latency_ns": int64(lat[*size]),
+		}, func() {
+			fmt.Printf("one-way %s latency: %s (%s, delay %dus, irq %s)\n",
+				units.FormatBytes(*size), units.FormatDuration(lat[*size]), st, *delay, *irq)
+		})
 	case "rate":
 		rate := exp.MessageRate(cfg, *size, 20*sim.Millisecond, 100*sim.Millisecond)
-		fmt.Printf("message rate %s: %s msg/s (%s, delay %dus, irq %s)\n",
-			units.FormatBytes(*size), units.FormatRate(rate), st, *delay, *irq)
+		emit(map[string]any{
+			"workload": "rate", "strategy": st.String(), "delay_us": *delay,
+			"irq": cfg.IRQPolicy.String(), "size_bytes": *size,
+			"rate_msg_per_sec": rate,
+		}, func() {
+			fmt.Printf("message rate %s: %s msg/s (%s, delay %dus, irq %s)\n",
+				units.FormatBytes(*size), units.FormatRate(rate), st, *delay, *irq)
+		})
 	case "nas":
 		wl, err := nas.Get(*bench, (*class)[0], *ranks)
 		if err != nil {
@@ -86,10 +109,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: %s, %s interrupts, %d wakeups, %d packets (%s)\n",
-			res.Workload, units.FormatDuration(res.Elapsed),
-			units.FormatCount(float64(res.Interrupts)), res.Wakeups,
-			res.PacketsDelivered, st)
+		emit(map[string]any{
+			"workload": "nas", "bench": res.Workload, "strategy": st.String(),
+			"delay_us": *delay, "irq": cfg.IRQPolicy.String(),
+			"elapsed_ns": int64(res.Elapsed), "interrupts": res.Interrupts,
+			"wakeups": res.Wakeups, "packets": res.PacketsDelivered,
+		}, func() {
+			fmt.Printf("%s: %s, %s interrupts, %d wakeups, %d packets (%s)\n",
+				res.Workload, units.FormatDuration(res.Elapsed),
+				units.FormatCount(float64(res.Interrupts)), res.Wakeups,
+				res.PacketsDelivered, st)
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -workload %q\n", *workload)
 		os.Exit(1)

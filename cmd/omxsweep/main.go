@@ -1,0 +1,194 @@
+// Command omxsweep runs a parallel parameter sweep over the simulator's
+// tuning space and writes machine-readable results. Every grid point is an
+// independent deterministic simulation, so the sweep scales to all cores
+// and the output is byte-identical regardless of worker count.
+//
+// Axes take comma-separated lists; delays also accept lo:hi:step ranges
+// (microseconds). Examples:
+//
+//	omxsweep -strategies openmx,timeout -delays 0:100:25 -sizes 0,128,4096 -out sweep.json -workers 8
+//	omxsweep -strategies disabled,timeout,openmx,stream -sizes 1,128,65536 -rate -csvout sweep.csv
+//	omxsweep -delays 75 -irq round-robin,single-core -seeds 1,2,3 -out -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"openmxsim/internal/host"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/sweep"
+)
+
+func main() {
+	strategies := flag.String("strategies", "disabled,timeout,openmx,stream", "comma-separated coalescing strategies")
+	delays := flag.String("delays", "15:75:30", "coalescing delays in us: list (25,75) or range lo:hi:step")
+	sizes := flag.String("sizes", "1,128,4096,65536", "comma-separated message sizes in bytes")
+	irq := flag.String("irq", "round-robin", "comma-separated IRQ policies: round-robin | single-core | per-queue")
+	queues := flag.String("queues", "1", "comma-separated NIC receive-queue counts")
+	seeds := flag.String("seeds", "1", "comma-separated simulation seeds")
+	iters := flag.Int("iters", 30, "ping-pong iterations per point")
+	rate := flag.Bool("rate", false, "also measure message rate at every point")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	out := flag.String("out", "-", "JSON output path ('-' = stdout, '' = none)")
+	csvOut := flag.String("csvout", "", "CSV output path ('-' = stdout, '' = none)")
+	flag.Parse()
+
+	grid, err := buildGrid(*strategies, *delays, *sizes, *irq, *queues, *seeds)
+	if err != nil {
+		fatal(err)
+	}
+	grid.Iters = *iters
+	grid.Rate = *rate
+
+	n := *workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if s := grid.Size(); n > s {
+		n = s // mirror sweep.Run's cap so the banner states the real count
+	}
+	fmt.Fprintf(os.Stderr, "sweeping %d points on %d workers\n", grid.Size(), n)
+	start := time.Now()
+	results, err := sweep.Run(grid, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "point %d failed: %s\n", r.Index, r.Err)
+		}
+	}
+	if err := emit(*out, results.WriteJSON); err != nil {
+		fatal(err)
+	}
+	if err := emit(*csvOut, results.WriteCSV); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "[%d points in %.2fs wall, %d failed]\n",
+		len(results), elapsed.Seconds(), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// emit writes via fn to path: stdout for "-", nothing for "".
+func emit(path string, fn func(w io.Writer) error) error {
+	switch path {
+	case "":
+		return nil
+	case "-":
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func buildGrid(strategies, delays, sizes, irq, queues, seeds string) (sweep.Grid, error) {
+	var g sweep.Grid
+	for _, s := range split(strategies) {
+		st, err := nic.ParseStrategy(s)
+		if err != nil {
+			return g, err
+		}
+		g.Strategies = append(g.Strategies, st)
+	}
+	ds, err := parseDelays(delays)
+	if err != nil {
+		return g, err
+	}
+	g.Delays = ds
+	for _, s := range split(sizes) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return g, fmt.Errorf("bad size %q: %v", s, err)
+		}
+		g.Sizes = append(g.Sizes, v)
+	}
+	for _, s := range split(irq) {
+		p, err := host.ParseIRQPolicy(s)
+		if err != nil {
+			return g, err
+		}
+		g.IRQ = append(g.IRQ, p)
+	}
+	for _, s := range split(queues) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return g, fmt.Errorf("bad queue count %q: %v", s, err)
+		}
+		g.Queues = append(g.Queues, v)
+	}
+	for _, s := range split(seeds) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return g, fmt.Errorf("bad seed %q: %v", s, err)
+		}
+		g.Seeds = append(g.Seeds, v)
+	}
+	return g, nil
+}
+
+// parseDelays reads either a comma list ("25,75") or an inclusive range
+// with step ("0:100:25"), both in microseconds.
+func parseDelays(spec string) ([]sim.Time, error) {
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad delay range %q, want lo:hi:step", spec)
+		}
+		lo, err1 := strconv.Atoi(parts[0])
+		hi, err2 := strconv.Atoi(parts[1])
+		step, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || step <= 0 || hi < lo {
+			return nil, fmt.Errorf("bad delay range %q", spec)
+		}
+		var ds []sim.Time
+		for d := lo; d <= hi; d += step {
+			ds = append(ds, sim.Time(d)*sim.Microsecond)
+		}
+		return ds, nil
+	}
+	var ds []sim.Time
+	for _, s := range split(spec) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad delay %q: %v", s, err)
+		}
+		ds = append(ds, sim.Time(v)*sim.Microsecond)
+	}
+	return ds, nil
+}
+
+func split(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,8 +1,8 @@
-// Misordering: the Table III scenario. Moves the latency-sensitive mark
-// off the last fragment of 32 KiB medium messages (the paper's emulation of
-// packet mis-ordering) and compares how the Open-MX and Stream coalescing
-// firmwares cope, then repeats the experiment with real reordering injected
-// in the fabric.
+// Command misordering reproduces the Table III scenario. It moves the
+// latency-sensitive mark off the last fragment of 32 KiB medium messages
+// (the paper's emulation of packet mis-ordering) and compares how the
+// Open-MX and Stream coalescing firmwares cope, then repeats the
+// experiment with real reordering injected in the fabric.
 package main
 
 import (

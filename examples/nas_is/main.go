@@ -1,7 +1,7 @@
-// NAS IS: the paper's headline application result. Runs the NAS Integer
-// Sort communication kernel (16 ranks on 2 nodes) under all four
-// coalescing strategies and reports execution time and interrupt counts —
-// Tables IV and V for the IS rows.
+// Command nas_is reproduces the paper's headline application result: the
+// NAS Integer Sort communication kernel (16 ranks on 2 nodes) under all
+// four coalescing strategies, reporting execution time and interrupt
+// counts — Tables IV and V for the IS rows.
 //
 // Class W by default so it finishes in seconds; pass -class B for the
 // paper's smaller configuration (minutes of virtual time).

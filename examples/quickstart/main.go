@@ -1,6 +1,6 @@
-// Quickstart: build the paper's two-node platform, exchange a message with
-// real payload between two ranks, and measure small-message latency under
-// two coalescing strategies.
+// Command quickstart builds the paper's two-node platform, exchanges a
+// message with real payload between two ranks, and measures small-message
+// latency under two coalescing strategies.
 package main
 
 import (

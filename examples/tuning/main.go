@@ -1,7 +1,8 @@
-// Tuning: sweep the interrupt-coalescing delay and report the latency /
-// message-rate / interrupt-load tradeoff the paper studies, ending with a
-// recommendation per metric — exactly the manual tuning the Open-MX
-// firmware modifications make unnecessary.
+// Command tuning sweeps the interrupt-coalescing delay and reports the
+// latency / message-rate / interrupt-load tradeoff the paper studies,
+// ending with a recommendation per metric — exactly the manual tuning the
+// Open-MX firmware modifications make unnecessary. (For grid sweeps over
+// more axes, in parallel, see cmd/omxsweep.)
 package main
 
 import (

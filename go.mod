@@ -1,0 +1,3 @@
+module openmxsim
+
+go 1.24

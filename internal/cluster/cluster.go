@@ -54,6 +54,38 @@ func Paper() Config {
 	}
 }
 
+// Validate reports whether the configuration can be built; New panics on
+// exactly these conditions. Batch drivers (the sweep executor) call
+// Validate up front so a malformed grid fails before any worker starts.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("cluster: need at least one node, have %d", c.Nodes)
+	}
+	if c.CoalesceDelay < 0 {
+		return fmt.Errorf("cluster: negative coalescing delay %d", c.CoalesceDelay)
+	}
+	if c.MaxFrames < 0 {
+		return fmt.Errorf("cluster: negative rx-frames bound %d", c.MaxFrames)
+	}
+	if c.Queues < 0 {
+		return fmt.Errorf("cluster: negative queue count %d", c.Queues)
+	}
+	if !c.Strategy.Known() {
+		return fmt.Errorf("cluster: unknown strategy %d", int(c.Strategy))
+	}
+	if c.IRQPolicy < host.IRQRoundRobin || c.IRQPolicy > host.IRQPerQueue {
+		return fmt.Errorf("cluster: unknown IRQ policy %d", int(c.IRQPolicy))
+	}
+	p := c.Params
+	if p == nil {
+		p = params.Default()
+	}
+	if c.IRQCore < 0 || c.IRQCore >= p.Host.Cores {
+		return fmt.Errorf("cluster: IRQ core %d out of range [0,%d)", c.IRQCore, p.Host.Cores)
+	}
+	return nil
+}
+
 // Cluster is a wired testbed.
 type Cluster struct {
 	Cfg    Config
@@ -68,8 +100,8 @@ type Cluster struct {
 
 // New builds a cluster from cfg.
 func New(cfg Config) *Cluster {
-	if cfg.Nodes <= 0 {
-		panic("cluster: need at least one node")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	p := cfg.Params
 	if p == nil {

@@ -93,3 +93,22 @@ func TestBadConfigPanics(t *testing.T) {
 	}()
 	New(Config{Nodes: 0})
 }
+
+func TestValidate(t *testing.T) {
+	if err := Paper().Validate(); err != nil {
+		t.Errorf("paper platform invalid: %v", err)
+	}
+	bad := []Config{
+		{Nodes: 0},
+		func() Config { c := Paper(); c.CoalesceDelay = -1; return c }(),
+		func() Config { c := Paper(); c.Queues = -1; return c }(),
+		func() Config { c := Paper(); c.Strategy = 99; return c }(),
+		func() Config { c := Paper(); c.IRQPolicy = 99; return c }(),
+		func() Config { c := Paper(); c.IRQCore = 99; return c }(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}

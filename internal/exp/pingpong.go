@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"openmxsim/internal/cluster"
-	"openmxsim/internal/mpi"
 	"openmxsim/internal/nic"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/sweep"
 	"openmxsim/internal/units"
 )
 
@@ -14,35 +14,10 @@ import (
 var pingPongSizes = []int{1, 4, 16, 64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
 
 // pingPong measures mean one-way transfer time per message size between
-// two ranks on different nodes.
+// two ranks on different nodes. The harness itself is the canonical copy
+// in internal/sweep, shared with the parallel sweep executor.
 func pingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, error) {
-	cl := cluster.New(cfg)
-	w := mpi.NewWorld(cl, cl.OpenEndpoints(1))
-	c := w.CommWorld()
-	res := make(map[int]sim.Time, len(sizes))
-	_, err := w.Run(func(r *mpi.Rank) {
-		for si, size := range sizes {
-			tag := 100 + si
-			switch r.ID {
-			case 0:
-				for k := 0; k < 2; k++ { // warmup
-					r.Send(c, 1, tag, nil, size)
-					r.Recv(c, 1, tag, nil, size)
-				}
-				t0 := r.Now()
-				for k := 0; k < iters; k++ {
-					r.Send(c, 1, tag, nil, size)
-					r.Recv(c, 1, tag, nil, size)
-				}
-				res[size] = (r.Now() - t0) / sim.Time(2*iters)
-			case 1:
-				for k := 0; k < 2+iters; k++ {
-					r.Recv(c, 0, tag, nil, size)
-					r.Send(c, 0, tag, nil, size)
-				}
-			}
-		}
-	})
+	res, _, _, err := sweep.RunPingPong(cfg, sizes, iters)
 	return res, err
 }
 

@@ -23,12 +23,8 @@ func MessageRate(cfg cluster.Config, size int, warmup, measure sim.Time) float64
 	if measure <= 0 {
 		measure = 50 * sim.Millisecond
 	}
-	chains := 8
-	if size > 256<<10 {
-		chains = 4
-	}
 	return runStream(streamSpec{
-		Cluster: cfg, Size: size, Chains: chains,
+		Cluster: cfg, Size: size,
 		Warmup: warmup, Measure: measure,
 	}).Rate
 }

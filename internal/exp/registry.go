@@ -29,6 +29,7 @@ var registry = []struct {
 	{"adaptive", "adaptive coalescing extension (Section VI)", Adaptive},
 	{"multiqueue", "multiqueue extension (Section VI)", Multiqueue},
 	{"jumbo", "MTU 9000 extension (Section IV-A)", Jumbo},
+	{"sweep", "parallel tradeoff grid: strategy x delay x size (Figs. 4-6 in one run)", Sweep},
 }
 
 // IDs lists experiment identifiers in run order.

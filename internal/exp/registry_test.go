@@ -1,0 +1,80 @@
+package exp
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRegistryComplete checks every advertised experiment id resolves to a
+// runner and carries a description.
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) == 0 {
+		t.Fatal("registry is empty")
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate experiment id %q", id)
+		}
+		seen[id] = true
+		r, err := Get(id)
+		if err != nil || r == nil {
+			t.Errorf("Get(%q) = %v, %v", id, r, err)
+		}
+		if Describe(id) == "" {
+			t.Errorf("Describe(%q) is empty", id)
+		}
+	}
+	if _, err := Get("no-such-experiment"); err == nil {
+		t.Error("Get accepted an unknown id")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		ID:     "t",
+		Title:  "test",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+		Notes:  []string{"n"},
+	}
+	b, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if got.ID != rep.ID || len(got.Rows) != 2 || got.Rows[1][1] != "4" {
+		t.Errorf("round trip mangled the report: %+v", got)
+	}
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("WriteJSON output lacks trailing newline")
+	}
+}
+
+// TestSweepQuick runs the registry's sweep experiment in quick mode and
+// checks the grid shape survives into the report.
+func TestSweepQuick(t *testing.T) {
+	rep := Sweep(quick)
+	if len(rep.Rows) != 6 { // 3 strategies x 1 delay x 2 sizes
+		t.Fatalf("sweep quick rows = %d, want 6", len(rep.Rows))
+	}
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "ERROR") {
+			t.Errorf("sweep reported %q", n)
+		}
+	}
+	for _, row := range rep.Rows {
+		if parseFloat(t, row[3]) <= 0 {
+			t.Errorf("%s/%s/%s: non-positive latency %s", row[0], row[1], row[2], row[3])
+		}
+	}
+}

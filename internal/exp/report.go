@@ -5,7 +5,9 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 
 	"openmxsim/internal/sim"
@@ -23,15 +25,18 @@ type Options struct {
 // DefaultOptions returns the full-scale configuration.
 func DefaultOptions() Options { return Options{Seed: 1} }
 
-// Report is a formatted experiment result.
+// Report is a formatted experiment result. It renders three ways: an
+// aligned text table (String), comma-separated values (CSV), and indented
+// JSON (JSON/WriteJSON) for machine consumers such as benchmark-trajectory
+// tooling.
 type Report struct {
-	ID    string
-	Title string
+	ID    string `json:"id"`
+	Title string `json:"title"`
 	// Header and Rows form the table; Notes carries commentary
 	// (paper-reference values, definitions).
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // String renders the report as an aligned text table.
@@ -78,6 +83,32 @@ func (r *Report) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the report as indented JSON. The encoding is deterministic:
+// equal seeds produce byte-identical output. Nil Header/Rows are encoded
+// as empty arrays, never null, so consumers see one schema on every path
+// (an errored report still has its rows key).
+func (r *Report) JSON() ([]byte, error) {
+	c := *r
+	if c.Header == nil {
+		c.Header = []string{}
+	}
+	if c.Rows == nil {
+		c.Rows = [][]string{}
+	}
+	return json.MarshalIndent(&c, "", "  ")
+}
+
+// WriteJSON writes the JSON form followed by a newline.
+func (r *Report) WriteJSON(w io.Writer) error {
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
 }
 
 func us(t sim.Time) string {

@@ -2,86 +2,20 @@ package exp
 
 import (
 	"openmxsim/internal/cluster"
-	"openmxsim/internal/omx"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/sweep"
 	"openmxsim/internal/wire"
 )
 
-// streamSpec describes a unidirectional message-rate measurement: a sender
-// on node 0 keeps `Chains` back-to-back send chains running toward a
-// receiver on node 1, which reposts wildcard receives. The receiver side is
-// where interrupts matter (Table I is measured there).
-type streamSpec struct {
-	Cluster cluster.Config
-	Size    int
-	Chains  int
-	Warmup  sim.Time
-	Measure sim.Time
-}
+// The stream harness lives in internal/sweep (the canonical copy, shared
+// with the parallel sweep executor); these aliases keep the experiment
+// runners reading naturally.
+type (
+	streamSpec   = sweep.StreamSpec
+	streamResult = sweep.StreamResult
+)
 
-type streamResult struct {
-	// Rate is messages per second completed at the receiving application
-	// during the measurement window.
-	Rate float64
-	// Interrupts and IntrRate cover the receiver NIC in the window.
-	Interrupts uint64
-	IntrRate   float64
-	// Wakeups on the receiving host in the window.
-	Wakeups uint64
-	// Received is the raw message count in the window.
-	Received int
-}
-
-func runStream(spec streamSpec) streamResult {
-	cl := cluster.New(spec.Cluster)
-	// Application processes pinned away from the default IRQ core. Like
-	// the paper's benchmark processes, they wait in blocking mode, so
-	// their cores enter C1E between message batches and pay the wake-up
-	// penalty — the dominant effect behind Fig. 4's sleep curves.
-	snd := cl.Stacks[0].Open(0, cl.Hosts[0].Cores[1])
-	rcv := cl.Stacks[1].Open(0, cl.Hosts[1].Cores[1])
-
-	received := 0
-	var repost func()
-	repost = func() {
-		rcv.Irecv(0, 0, nil, spec.Size, func(*omx.RecvHandle) {
-			received++
-			repost()
-		})
-	}
-	dst := rcv.Addr()
-	var chain func()
-	chain = func() { snd.Isend(dst, 1, nil, spec.Size, chain) }
-
-	cl.Eng.After(0, func() {
-		for i := 0; i < 192; i++ {
-			repost()
-		}
-		for i := 0; i < spec.Chains; i++ {
-			chain()
-		}
-	})
-
-	var startCount int
-	var startIntr, startWake uint64
-	cl.Eng.Schedule(spec.Warmup, func() {
-		startCount = received
-		startIntr = cl.NICs[1].Stats.Interrupts
-		startWake = cl.Hosts[1].Stats().Wakeups
-	})
-	cl.Eng.RunUntil(spec.Warmup + spec.Measure)
-
-	got := received - startCount
-	secs := float64(spec.Measure) / 1e9
-	intr := cl.NICs[1].Stats.Interrupts - startIntr
-	return streamResult{
-		Rate:       float64(got) / secs,
-		Interrupts: intr,
-		IntrRate:   float64(intr) / secs,
-		Wakeups:    cl.Hosts[1].Stats().Wakeups - startWake,
-		Received:   got,
-	}
-}
+func runStream(spec streamSpec) streamResult { return sweep.RunStream(spec) }
 
 // nullPort absorbs frames addressed to the blaster's MAC (none arrive).
 type nullPort struct{}

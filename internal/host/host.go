@@ -40,6 +40,21 @@ func (p IRQPolicy) String() string {
 	}
 }
 
+// ParseIRQPolicy converts a policy name into an IRQPolicy. It accepts the
+// canonical String forms ("round-robin", "single-core", "per-queue") and
+// the short CLI spellings ("all", "single", "perqueue").
+func ParseIRQPolicy(name string) (IRQPolicy, error) {
+	switch name {
+	case "round-robin", "all":
+		return IRQRoundRobin, nil
+	case "single-core", "single":
+		return IRQSingleCore, nil
+	case "per-queue", "perqueue":
+		return IRQPerQueue, nil
+	}
+	return 0, fmt.Errorf("host: unknown IRQ policy %q", name)
+}
+
 // Host is one node: a set of cores sharing a NIC.
 type Host struct {
 	ID    int

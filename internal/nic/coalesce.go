@@ -38,6 +38,9 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
 
+// Known reports whether s is one of the defined strategies.
+func (s Strategy) Known() bool { return s >= 0 && int(s) < len(strategyNames) }
+
 // ParseStrategy converts a name into a Strategy.
 func ParseStrategy(name string) (Strategy, error) {
 	for i, n := range strategyNames {

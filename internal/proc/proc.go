@@ -103,6 +103,11 @@ func (p *Proc) Wake() {
 	p.step()
 }
 
+// IsKill reports whether a value recovered inside a process body is the
+// sentinel Kill unwinds with. Rank-level recover wrappers must re-panic it
+// so teardown proceeds normally.
+func IsKill(r any) bool { _, ok := r.(killSentinel); return ok }
+
 // Done reports whether the process body returned.
 func (p *Proc) Done() bool { return p.done }
 

@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"fmt"
+
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/mpi"
+	"openmxsim/internal/proc"
+	"openmxsim/internal/sim"
+)
+
+// RunPingPong is the canonical ping-pong harness (the experiment runners
+// in internal/exp delegate to it): mean one-way transfer time per message
+// size between two ranks on different nodes, plus the interrupt total
+// across both NICs and the number of messages it covers.
+//
+// Rank bodies run on their own goroutines, so a panic inside one would
+// escape any recover on the caller's goroutine and kill the whole process;
+// the per-rank recover below converts it into an error instead (the
+// partner rank then deadlocks, which World.Run reports and tears down
+// cleanly).
+func RunPingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, uint64, int, error) {
+	cl := cluster.New(cfg)
+	w := mpi.NewWorld(cl, cl.OpenEndpoints(1))
+	c := w.CommWorld()
+	const warmup = 2
+	res := make(map[int]sim.Time, len(sizes))
+	var rankPanic error
+	_, err := w.Run(func(r *mpi.Rank) {
+		defer func() {
+			if p := recover(); p != nil {
+				if proc.IsKill(p) {
+					panic(p)
+				}
+				if rankPanic == nil {
+					rankPanic = fmt.Errorf("rank %d panicked: %v", r.ID, p)
+				}
+			}
+		}()
+		for si, size := range sizes {
+			tag := 100 + si
+			switch r.ID {
+			case 0:
+				for k := 0; k < warmup; k++ {
+					r.Send(c, 1, tag, nil, size)
+					r.Recv(c, 1, tag, nil, size)
+				}
+				t0 := r.Now()
+				for k := 0; k < iters; k++ {
+					r.Send(c, 1, tag, nil, size)
+					r.Recv(c, 1, tag, nil, size)
+				}
+				res[size] = (r.Now() - t0) / sim.Time(2*iters)
+			case 1:
+				for k := 0; k < warmup+iters; k++ {
+					r.Recv(c, 0, tag, nil, size)
+					r.Send(c, 0, tag, nil, size)
+				}
+			}
+		}
+	})
+	msgs := 2 * (warmup + iters) * len(sizes)
+	if rankPanic != nil {
+		if err != nil {
+			err = fmt.Errorf("%v (%v)", rankPanic, err)
+		} else {
+			err = rankPanic
+		}
+		msgs = 0
+	}
+	return res, cl.Interrupts(), msgs, err
+}

@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is the measurement at one grid point. Fields use flat,
+// JSON-friendly types so sweep outputs are trivially consumed by plotting
+// scripts and the benchmark-trajectory tooling.
+type Result struct {
+	Index         int     `json:"index"`
+	Strategy      string  `json:"strategy"`
+	DelayUS       float64 `json:"delay_us"`
+	SizeBytes     int     `json:"size_bytes"`
+	IRQ           string  `json:"irq"`
+	Queues        int     `json:"queues"`
+	Seed          uint64  `json:"seed"`
+	SleepDisabled bool    `json:"sleep_disabled"`
+
+	// LatencyNS is the mean one-way ping-pong transfer time in virtual ns.
+	LatencyNS int64 `json:"latency_ns"`
+	// Interrupts counts interrupts on both NICs over the whole ping-pong;
+	// IntrPerMsg divides by the number of messages exchanged.
+	Interrupts uint64  `json:"interrupts"`
+	IntrPerMsg float64 `json:"intr_per_msg"`
+	// RateMsgPerSec and RateIntrPerSec are only measured when Grid.Rate is
+	// on; the keys are always present so every point shares one schema.
+	RateMsgPerSec  float64 `json:"rate_msg_per_sec"`
+	RateIntrPerSec float64 `json:"rate_intr_per_sec"`
+	// Err is set when the point failed instead of measuring.
+	Err string `json:"error,omitempty"`
+}
+
+// Results is an ordered sweep outcome (grid-expansion order).
+type Results []Result
+
+// JSON renders the results as indented JSON. The encoding is fully
+// deterministic: equal grids and seeds yield byte-identical output
+// regardless of how many workers produced them.
+func (rs Results) JSON() ([]byte, error) {
+	return json.MarshalIndent(rs, "", "  ")
+}
+
+// WriteJSON writes the JSON form followed by a newline.
+func (rs Results) WriteJSON(w io.Writer) error {
+	b, err := rs.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// csvHeader names the CSV columns, in Result field order.
+var csvHeader = []string{
+	"index", "strategy", "delay_us", "size_bytes", "irq", "queues", "seed",
+	"sleep_disabled", "latency_ns", "interrupts", "intr_per_msg",
+	"rate_msg_per_sec", "rate_intr_per_sec", "error",
+}
+
+// WriteCSV writes the results as comma-separated values with a header row.
+func (rs Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range rs {
+		cells := []string{
+			strconv.Itoa(r.Index), r.Strategy, f(r.DelayUS),
+			strconv.Itoa(r.SizeBytes), r.IRQ, strconv.Itoa(r.Queues),
+			strconv.FormatUint(r.Seed, 10), strconv.FormatBool(r.SleepDisabled),
+			strconv.FormatInt(r.LatencyNS, 10),
+			strconv.FormatUint(r.Interrupts, 10), f(r.IntrPerMsg),
+			f(r.RateMsgPerSec), f(r.RateIntrPerSec),
+			r.Err,
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSV renders the results as a CSV string.
+func (rs Results) CSV() string {
+	var b strings.Builder
+	if err := rs.WriteCSV(&b); err != nil {
+		return fmt.Sprintf("error: %v", err)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"openmxsim/internal/sim"
+)
+
+// Run expands the grid and executes every point on a pool of workers
+// (workers <= 0 means GOMAXPROCS). Each point builds its own clusters from
+// its own seed, so points never share state and the pool is free to run
+// them in any order; the returned slice is nevertheless always in grid
+// order. A point that fails records its error in Result.Err instead of
+// aborting the sweep.
+func Run(g Grid, workers int) (Results, error) {
+	g = g.normalized()
+	pts := g.Points() // never empty: normalized() fills every axis
+	for _, p := range pts {
+		if p.Size < 0 {
+			return nil, fmt.Errorf("sweep: point %d: negative message size %d", p.Index, p.Size)
+		}
+		if err := p.Config().Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+
+	results := make(Results, len(pts))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runPoint(g, pts[i])
+			}
+		}()
+	}
+	for i := range pts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, nil
+}
+
+// runPoint executes one point: a ping-pong latency measurement, and
+// optionally a unidirectional message-rate measurement on a second
+// cluster. A panic inside the simulator is converted into Result.Err so a
+// single bad point cannot take down a long sweep.
+func runPoint(g Grid, p Point) (res Result) {
+	res = Result{
+		Index:         p.Index,
+		Strategy:      p.Strategy.String(),
+		DelayUS:       float64(p.Delay) / float64(sim.Microsecond),
+		SizeBytes:     p.Size,
+		IRQ:           p.IRQ.String(),
+		Queues:        p.Queues,
+		Seed:          p.Seed,
+		SleepDisabled: p.SleepDisabled,
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Sprintf("panic: %v", r)
+		}
+	}()
+
+	lat, intr, msgs, err := RunPingPong(p.Config(), []int{p.Size}, g.Iters)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.LatencyNS = int64(lat[p.Size])
+	res.Interrupts = intr
+	if msgs > 0 {
+		res.IntrPerMsg = float64(intr) / float64(msgs)
+	}
+
+	if g.Rate {
+		sr := RunStream(StreamSpec{
+			Cluster: p.Config(), Size: p.Size,
+			Warmup: g.RateWarmup, Measure: g.RateMeasure,
+		})
+		res.RateMsgPerSec = sr.Rate
+		res.RateIntrPerSec = sr.IntrRate
+	}
+	return res
+}

@@ -1,0 +1,95 @@
+package sweep
+
+import (
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/omx"
+	"openmxsim/internal/sim"
+)
+
+// StreamSpec describes a unidirectional message-rate measurement: a sender
+// on node 0 keeps `Chains` back-to-back send chains running toward a
+// receiver on node 1, which reposts wildcard receives. The receiver side
+// is where interrupts matter (the paper's Table I is measured there).
+// This is the canonical stream harness; the experiment runners in
+// internal/exp delegate to it.
+type StreamSpec struct {
+	Cluster cluster.Config
+	Size    int
+	// Chains <= 0 picks the default: 8 concurrent chains, dropping to 4
+	// above 256 KiB where fewer large pulls already saturate the link.
+	Chains  int
+	Warmup  sim.Time
+	Measure sim.Time
+}
+
+// StreamResult is the receiver-side outcome of a stream measurement.
+type StreamResult struct {
+	// Rate is messages per second completed at the receiving application
+	// during the measurement window.
+	Rate float64
+	// Interrupts and IntrRate cover the receiver NIC in the window.
+	Interrupts uint64
+	IntrRate   float64
+	// Wakeups on the receiving host in the window.
+	Wakeups uint64
+	// Received is the raw message count in the window.
+	Received int
+}
+
+// RunStream builds a cluster from the spec and runs the measurement.
+func RunStream(spec StreamSpec) StreamResult {
+	if spec.Chains <= 0 {
+		spec.Chains = 8
+		if spec.Size > 256<<10 {
+			spec.Chains = 4
+		}
+	}
+	cl := cluster.New(spec.Cluster)
+	// Application processes pinned away from the default IRQ core. Like
+	// the paper's benchmark processes, they wait in blocking mode, so
+	// their cores enter C1E between message batches and pay the wake-up
+	// penalty — the dominant effect behind Fig. 4's sleep curves.
+	snd := cl.Stacks[0].Open(0, cl.Hosts[0].Cores[1])
+	rcv := cl.Stacks[1].Open(0, cl.Hosts[1].Cores[1])
+
+	received := 0
+	var repost func()
+	repost = func() {
+		rcv.Irecv(0, 0, nil, spec.Size, func(*omx.RecvHandle) {
+			received++
+			repost()
+		})
+	}
+	dst := rcv.Addr()
+	var chain func()
+	chain = func() { snd.Isend(dst, 1, nil, spec.Size, chain) }
+
+	cl.Eng.After(0, func() {
+		for i := 0; i < 192; i++ {
+			repost()
+		}
+		for i := 0; i < spec.Chains; i++ {
+			chain()
+		}
+	})
+
+	var startCount int
+	var startIntr, startWake uint64
+	cl.Eng.Schedule(spec.Warmup, func() {
+		startCount = received
+		startIntr = cl.NICs[1].Stats.Interrupts
+		startWake = cl.Hosts[1].Stats().Wakeups
+	})
+	cl.Eng.RunUntil(spec.Warmup + spec.Measure)
+
+	got := received - startCount
+	secs := float64(spec.Measure) / 1e9
+	intr := cl.NICs[1].Stats.Interrupts - startIntr
+	return StreamResult{
+		Rate:       float64(got) / secs,
+		Interrupts: intr,
+		IntrRate:   float64(intr) / secs,
+		Wakeups:    cl.Hosts[1].Stats().Wakeups - startWake,
+		Received:   got,
+	}
+}

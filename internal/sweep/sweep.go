@@ -1,0 +1,152 @@
+// Package sweep turns the one-shot simulator into a parameter-sweep
+// platform: it expands cartesian grids over the paper's tuning axes
+// (coalescing strategy, coalescing delay, message size, IRQ routing, queue
+// count, seed) into independent jobs, runs them on a bounded worker pool —
+// every simulation is deterministic and self-contained, so the sweep is
+// embarrassingly parallel — and collects machine-readable results.
+//
+// Result ordering is deterministic: results come back in grid-expansion
+// order regardless of worker count or completion order, so equal grids and
+// seeds produce byte-identical JSON whether run serially or on all cores.
+package sweep
+
+import (
+	"openmxsim/internal/cluster"
+	"openmxsim/internal/host"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/sim"
+)
+
+// Grid describes a cartesian parameter space. Empty axes default to the
+// paper platform's value for that axis, so the zero Grid expands to the
+// single default point (timeout coalescing at 75 us, 128 B messages,
+// round-robin IRQs, one queue, seed 1).
+type Grid struct {
+	// Strategies is the NIC coalescing strategy axis.
+	Strategies []nic.Strategy
+	// Delays is the coalescing-delay axis (ignored by StrategyDisabled,
+	// which is still expanded literally so delay columns stay rectangular).
+	Delays []sim.Time
+	// Sizes is the message-size axis in bytes.
+	Sizes []int
+	// IRQ is the interrupt-routing axis.
+	IRQ []host.IRQPolicy
+	// Queues is the NIC receive-queue-count axis (multiqueue extension).
+	Queues []int
+	// Seeds is the simulation-seed axis.
+	Seeds []uint64
+	// SleepDisabled optionally sweeps the C1E idle-sleep switch
+	// (false = sleep possible, the platform default).
+	SleepDisabled []bool
+
+	// Iters is the ping-pong iteration count per point (default 30).
+	Iters int
+	// Rate additionally measures the unidirectional message rate at every
+	// point (a second cluster per point; roughly doubles the cost).
+	Rate bool
+	// RateWarmup and RateMeasure bound the rate measurement windows
+	// (defaults 10 ms and 50 ms of virtual time, matching the single-shot
+	// MessageRate harness in internal/exp).
+	RateWarmup, RateMeasure sim.Time
+}
+
+// Point is one fully-specified configuration of the grid.
+type Point struct {
+	Index         int
+	Strategy      nic.Strategy
+	Delay         sim.Time
+	Size          int
+	IRQ           host.IRQPolicy
+	Queues        int
+	Seed          uint64
+	SleepDisabled bool
+}
+
+// Config builds the cluster configuration for the point: the paper
+// platform with this point's knobs applied.
+func (p Point) Config() cluster.Config {
+	cfg := cluster.Paper()
+	cfg.Strategy = p.Strategy
+	cfg.CoalesceDelay = p.Delay
+	cfg.IRQPolicy = p.IRQ
+	cfg.Queues = p.Queues
+	cfg.Seed = p.Seed
+	cfg.SleepDisabled = p.SleepDisabled
+	return cfg
+}
+
+// normalized returns a copy of g with every empty axis replaced by its
+// paper-platform default.
+func (g Grid) normalized() Grid {
+	def := cluster.Paper()
+	if len(g.Strategies) == 0 {
+		g.Strategies = []nic.Strategy{def.Strategy}
+	}
+	if len(g.Delays) == 0 {
+		g.Delays = []sim.Time{def.CoalesceDelay}
+	}
+	if len(g.Sizes) == 0 {
+		g.Sizes = []int{128}
+	}
+	if len(g.IRQ) == 0 {
+		g.IRQ = []host.IRQPolicy{host.IRQRoundRobin}
+	}
+	if len(g.Queues) == 0 {
+		g.Queues = []int{1}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []uint64{def.Seed}
+	}
+	if len(g.SleepDisabled) == 0 {
+		g.SleepDisabled = []bool{false}
+	}
+	if g.Iters <= 0 {
+		g.Iters = 30
+	}
+	if g.RateWarmup <= 0 {
+		g.RateWarmup = 10 * sim.Millisecond
+	}
+	if g.RateMeasure <= 0 {
+		g.RateMeasure = 50 * sim.Millisecond
+	}
+	return g
+}
+
+// Size returns the number of points the grid expands to.
+func (g Grid) Size() int {
+	g = g.normalized()
+	return len(g.Strategies) * len(g.Delays) * len(g.Sizes) *
+		len(g.IRQ) * len(g.Queues) * len(g.Seeds) * len(g.SleepDisabled)
+}
+
+// Points expands the cartesian product in deterministic order: seed
+// outermost, then strategy, delay, size, IRQ policy, queue count, sleep.
+func (g Grid) Points() []Point {
+	g = g.normalized()
+	pts := make([]Point, 0, g.Size())
+	for _, seed := range g.Seeds {
+		for _, st := range g.Strategies {
+			for _, d := range g.Delays {
+				for _, size := range g.Sizes {
+					for _, irq := range g.IRQ {
+						for _, q := range g.Queues {
+							for _, sl := range g.SleepDisabled {
+								pts = append(pts, Point{
+									Index:         len(pts),
+									Strategy:      st,
+									Delay:         d,
+									Size:          size,
+									IRQ:           irq,
+									Queues:        q,
+									Seed:          seed,
+									SleepDisabled: sl,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts
+}

@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"openmxsim/internal/host"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/sim"
+)
+
+func testGrid() Grid {
+	return Grid{
+		Strategies: []nic.Strategy{nic.StrategyDisabled, nic.StrategyTimeout, nic.StrategyOpenMX},
+		Delays:     []sim.Time{25 * sim.Microsecond, 75 * sim.Microsecond},
+		Sizes:      []int{1, 4 << 10},
+		Iters:      5,
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	g := testGrid()
+	pts := g.Points()
+	if len(pts) != g.Size() || len(pts) != 12 {
+		t.Fatalf("expanded %d points, Size() = %d, want 12", len(pts), g.Size())
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Errorf("point %d carries index %d", i, p.Index)
+		}
+	}
+	// The zero grid is the single paper-default point.
+	var zero Grid
+	pts = zero.Points()
+	if len(pts) != 1 {
+		t.Fatalf("zero grid expanded to %d points", len(pts))
+	}
+	cfg := pts[0].Config()
+	if cfg.Strategy != nic.StrategyTimeout || cfg.CoalesceDelay != 75*sim.Microsecond ||
+		cfg.IRQPolicy != host.IRQRoundRobin || cfg.Seed != 1 {
+		t.Errorf("zero-grid point is not the paper default: %+v", cfg)
+	}
+}
+
+func TestRunRejectsInvalidGrid(t *testing.T) {
+	g := Grid{Queues: []int{-1}}
+	if _, err := Run(g, 1); err == nil {
+		t.Fatal("negative queue count accepted")
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts is the sweep contract: the same grid
+// and seed yield byte-identical JSON regardless of worker count.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := testGrid()
+	serial, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := parallel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js, jp) {
+		t.Fatalf("worker count changed the output:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", js, jp)
+	}
+}
+
+func TestResultsMeasureTheTradeoff(t *testing.T) {
+	g := Grid{
+		Strategies: []nic.Strategy{nic.StrategyDisabled, nic.StrategyTimeout, nic.StrategyOpenMX},
+		Sizes:      []int{128},
+		Iters:      8,
+	}
+	rs, err := Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStrategy := map[string]Result{}
+	for _, r := range rs {
+		if r.Err != "" {
+			t.Fatalf("point %d failed: %s", r.Index, r.Err)
+		}
+		if r.LatencyNS <= 0 {
+			t.Errorf("point %d: non-positive latency %d", r.Index, r.LatencyNS)
+		}
+		byStrategy[r.Strategy] = r
+	}
+	// The paper's headline: timeout coalescing costs ~the delay in latency,
+	// disabled costs interrupts, openmx gets both right.
+	if byStrategy["disabled"].LatencyNS >= byStrategy["timeout"].LatencyNS {
+		t.Errorf("disabled latency %d not below timeout %d",
+			byStrategy["disabled"].LatencyNS, byStrategy["timeout"].LatencyNS)
+	}
+	if byStrategy["openmx"].IntrPerMsg > byStrategy["disabled"].IntrPerMsg {
+		t.Errorf("openmx intr/msg %.2f above disabled %.2f",
+			byStrategy["openmx"].IntrPerMsg, byStrategy["disabled"].IntrPerMsg)
+	}
+}
+
+func TestRateMeasurement(t *testing.T) {
+	g := Grid{
+		Sizes:       []int{128},
+		Iters:       4,
+		Rate:        true,
+		RateWarmup:  2 * sim.Millisecond,
+		RateMeasure: 10 * sim.Millisecond,
+	}
+	rs, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].RateMsgPerSec < 10_000 {
+		t.Errorf("128B rate %.0f msg/s implausibly low", rs[0].RateMsgPerSec)
+	}
+}
+
+func TestSerializationShape(t *testing.T) {
+	g := Grid{Sizes: []int{1}, Iters: 3}
+	rs, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rs.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("sweep JSON does not parse: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0]["strategy"] != "timeout" {
+		t.Errorf("unexpected JSON content: %v", decoded)
+	}
+
+	csv := rs.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", len(lines))
+	}
+	if got, want := len(strings.Split(lines[1], ",")), len(csvHeader); got != want {
+		t.Errorf("CSV row has %d cells, header names %d", got, want)
+	}
+}

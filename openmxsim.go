@@ -26,6 +26,7 @@ import (
 	"openmxsim/internal/omx"
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/sweep"
 )
 
 // Time is a virtual duration or timestamp in nanoseconds.
@@ -128,6 +129,24 @@ func RunNAS(cfg Config, name string, class byte, ranks int) (*NASResult, error) 
 
 // NASBenchmarks lists the available benchmark names.
 func NASBenchmarks() []string { return nas.Names() }
+
+// Sweep types: a SweepGrid is a cartesian parameter space over strategy,
+// delay, size, IRQ policy, queue count and seed; SweepResults is the
+// ordered, JSON/CSV-serializable outcome.
+type (
+	SweepGrid    = sweep.Grid
+	SweepPoint   = sweep.Point
+	SweepResult  = sweep.Result
+	SweepResults = sweep.Results
+)
+
+// Sweep expands the grid and runs every point in parallel on `workers`
+// goroutines (0 = GOMAXPROCS), each on its own simulated cluster. Results
+// come back in deterministic grid order: equal grids and seeds yield
+// byte-identical serialized output regardless of worker count.
+func Sweep(grid SweepGrid, workers int) (SweepResults, error) {
+	return sweep.Run(grid, workers)
+}
 
 // Experiment options and reports (the paper's tables and figures).
 type (

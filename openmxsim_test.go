@@ -1,6 +1,7 @@
 package openmxsim
 
 import (
+	"fmt"
 	"testing"
 
 	"openmxsim/internal/sim"
@@ -96,4 +97,47 @@ func TestRunExperimentOverhead(t *testing.T) {
 	if rep.String() == "" || rep.CSV() == "" {
 		t.Fatal("empty report rendering")
 	}
+}
+
+func TestSweepAPI(t *testing.T) {
+	grid := SweepGrid{
+		Strategies: []Strategy{StrategyDisabled, StrategyOpenMX},
+		Sizes:      []int{128},
+		Iters:      5,
+	}
+	res, err := Sweep(grid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	for _, r := range res {
+		if r.Err != "" || r.LatencyNS <= 0 {
+			t.Errorf("bad sweep result: %+v", r)
+		}
+	}
+}
+
+// ExampleSweep runs a minimal three-strategy sweep in parallel and picks
+// the strategy with the lowest small-message latency. All time in the
+// simulator is virtual, so the output is exactly reproducible.
+func ExampleSweep() {
+	grid := SweepGrid{
+		Strategies: []Strategy{StrategyDisabled, StrategyTimeout, StrategyOpenMX},
+		Sizes:      []int{128},
+		Iters:      8,
+	}
+	results, err := Sweep(grid, 0) // 0 = one worker per core
+	if err != nil {
+		panic(err)
+	}
+	best := results[0]
+	for _, r := range results {
+		if r.LatencyNS < best.LatencyNS {
+			best = r
+		}
+	}
+	fmt.Printf("%d points; lowest 128B latency: %s\n", len(results), best.Strategy)
+	// Output: 3 points; lowest 128B latency: disabled
 }
