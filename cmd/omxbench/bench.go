@@ -1,0 +1,130 @@
+package main
+
+// Benchmark mode: measure each experiment (wall time and allocations for
+// one full regeneration, the moral equivalent of `go test -bench -benchtime
+// 1x`) and write one machine-readable BENCH_<id>.json per experiment, so
+// every PR can record the simulator's performance trajectory. An optional
+// baseline file turns the run into a regression gate on allocs/op.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"openmxsim/internal/exp"
+)
+
+// benchRecord is the schema of BENCH_<id>.json.
+type benchRecord struct {
+	ID          string `json:"id"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	Rows        int    `json:"rows"`
+	Quick       bool   `json:"quick"`
+	Seed        uint64 `json:"seed"`
+	Reps        int    `json:"reps"`
+}
+
+// measure runs one experiment reps times and keeps the fastest wall time
+// with its allocation counts (runs are deterministic, so allocations differ
+// only by runtime noise; the minimum is the cleanest sample).
+func measure(id string, runner exp.Runner, opts exp.Options, reps int) benchRecord {
+	rec := benchRecord{ID: id, Quick: opts.Quick, Seed: opts.Seed, Reps: reps}
+	for r := 0; r < reps; r++ {
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		rep := runner(opts)
+		ns := time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&m1)
+		if r == 0 || ns < rec.NsPerOp {
+			rec.NsPerOp = ns
+			rec.BytesPerOp = m1.TotalAlloc - m0.TotalAlloc
+			rec.AllocsPerOp = m1.Mallocs - m0.Mallocs
+			rec.Rows = len(rep.Rows)
+		}
+	}
+	return rec
+}
+
+// runBenchMode measures the given experiments, writes BENCH_<id>.json files
+// into outDir, and (with a baseline) enforces the allocs/op gate.
+func runBenchMode(ids []string, opts exp.Options, reps int, outDir, baselinePath string, maxRegress float64) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var records []benchRecord
+	for _, id := range ids {
+		runner, err := exp.Get(id)
+		if err != nil {
+			return err
+		}
+		rec := measure(id, runner, opts, reps)
+		records = append(records, rec)
+		b, err := json.MarshalIndent(&rec, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "BENCH_"+id+".json")
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[bench %-16s %12d ns/op %12d B/op %10d allocs/op]\n",
+			id, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+	}
+	if b, err := json.MarshalIndent(records, "", "  "); err == nil {
+		if err := os.WriteFile(filepath.Join(outDir, "BENCH_all.json"), append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	return checkBaseline(records, baselinePath, maxRegress)
+}
+
+// checkBaseline fails when any experiment's allocs/op exceeds the baseline
+// by more than maxRegress (fractional). Wall time is not gated: it varies
+// with the machine, while allocation counts of a deterministic simulation
+// do not.
+func checkBaseline(records []benchRecord, path string, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench baseline: %w", err)
+	}
+	var base []benchRecord
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	byID := make(map[string]benchRecord, len(base))
+	for _, b := range base {
+		byID[b.ID] = b
+	}
+	var failures []string
+	for _, rec := range records {
+		b, ok := byID[rec.ID]
+		if !ok || b.AllocsPerOp == 0 {
+			continue // new experiment or unusable baseline entry
+		}
+		limit := uint64(float64(b.AllocsPerOp) * (1 + maxRegress))
+		if rec.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (limit %d)",
+				rec.ID, rec.AllocsPerOp, b.AllocsPerOp, limit))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "ALLOC REGRESSION:", f)
+		}
+		return fmt.Errorf("bench: %d experiment(s) regressed allocs/op beyond %.0f%%", len(failures), maxRegress*100)
+	}
+	fmt.Fprintf(os.Stderr, "[bench baseline ok: %d experiments within %.0f%% of %s]\n",
+		len(records), maxRegress*100, path)
+	return nil
+}

@@ -8,7 +8,15 @@
 //	omxbench -quick                 # reduced durations (for CI)
 //	omxbench -list                  # available experiments
 //	omxbench -csv                   # CSV instead of aligned tables
-//	omxbench -json                  # JSON (for BENCH_*.json trajectories)
+//	omxbench -json                  # JSON reports
+//
+// Benchmark mode measures each experiment instead of printing its report,
+// writing machine-readable BENCH_<id>.json files (ns/op, B/op, allocs/op)
+// plus a combined BENCH_all.json, and optionally gates on a baseline:
+//
+//	omxbench -bench -quick                                  # measure all, write bench-out/
+//	omxbench -bench -quick -benchout dir -benchreps 3       # best of 3
+//	omxbench -bench -quick -baseline bench/BENCH_baseline.json  # fail on >20% allocs/op regression
 package main
 
 import (
@@ -29,6 +37,11 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit JSON instead of aligned tables")
 	list := flag.Bool("list", false, "list experiments and exit")
+	bench := flag.Bool("bench", false, "benchmark mode: measure experiments and write BENCH_<id>.json")
+	benchOut := flag.String("benchout", "bench-out", "output directory for BENCH_*.json (bench mode)")
+	benchReps := flag.Int("benchreps", 1, "runs per experiment in bench mode (fastest is reported)")
+	baseline := flag.String("baseline", "", "baseline BENCH_all.json to gate allocs/op against (bench mode)")
+	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional allocs/op regression vs baseline")
 	flag.Parse()
 
 	if *list {
@@ -42,7 +55,18 @@ func main() {
 	if *run != "all" {
 		ids = strings.Split(*run, ",")
 	}
+	for i, id := range ids {
+		ids[i] = strings.TrimSpace(id)
+	}
 	opts := exp.Options{Seed: *seed, Quick: *quick}
+
+	if *bench {
+		if err := runBenchMode(ids, opts, *benchReps, *benchOut, *baseline, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	// In JSON mode the reports accumulate into one array so stdout is a
 	// single valid document even with -run all (and `[]`, not `null`, when
 	// nothing ran).

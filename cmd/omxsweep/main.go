@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -28,6 +29,12 @@ import (
 )
 
 func main() {
+	// The sweep body runs in run() so the profile-flushing defers execute
+	// before the process exits with a failure status.
+	os.Exit(run())
+}
+
+func run() int {
 	strategies := flag.String("strategies", "disabled,timeout,openmx,stream", "comma-separated coalescing strategies")
 	delays := flag.String("delays", "15:75:30", "coalescing delays in us: list (25,75) or range lo:hi:step")
 	sizes := flag.String("sizes", "1,128,4096,65536", "comma-separated message sizes in bytes")
@@ -39,11 +46,38 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	out := flag.String("out", "-", "JSON output path ('-' = stdout, '' = none)")
 	csvOut := flag.String("csvout", "", "CSV output path ('-' = stdout, '' = none)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report the retained, not transient, picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	grid, err := buildGrid(*strategies, *delays, *sizes, *irq, *queues, *seeds)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	grid.Iters = *iters
 	grid.Rate = *rate
@@ -59,7 +93,7 @@ func main() {
 	start := time.Now()
 	results, err := sweep.Run(grid, *workers)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	elapsed := time.Since(start)
 
@@ -71,16 +105,17 @@ func main() {
 		}
 	}
 	if err := emit(*out, results.WriteJSON); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if err := emit(*csvOut, results.WriteCSV); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "[%d points in %.2fs wall, %d failed]\n",
 		len(results), elapsed.Seconds(), failed)
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // emit writes via fn to path: stdout for "-", nothing for "".
@@ -188,7 +223,9 @@ func split(s string) []string {
 	return out
 }
 
-func fatal(err error) {
+// fail reports err and yields the failure exit code, letting deferred
+// profile writers run (unlike os.Exit).
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return 1
 }

@@ -119,6 +119,10 @@ func New(cfg Config) *Cluster {
 	}
 
 	c := &Cluster{Cfg: cfg, Eng: eng, P: p, Switch: sw, RNG: rng}
+	// One frame pool spans the cluster: frames allocated by a sender are
+	// recycled when the receiving node releases them, so cross-node traffic
+	// reuses a small working set instead of allocating per packet.
+	pool := wire.NewPool()
 	for i := 0; i < cfg.Nodes; i++ {
 		h := host.New(eng, i, p.Host)
 		h.SetIRQPolicy(cfg.IRQPolicy, cfg.IRQCore)
@@ -129,6 +133,7 @@ func New(cfg Config) *Cluster {
 			Queues:    cfg.Queues,
 		})
 		s := omx.NewStack(eng, p, h, n, rng.Derive(uint64(0xC0+i)))
+		s.SetFramePool(pool)
 		if cfg.Mark != nil {
 			s.Mark = *cfg.Mark
 		}

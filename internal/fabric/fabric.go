@@ -53,10 +53,21 @@ type Switch struct {
 	ports map[wire.MAC]*port
 	fault *Fault
 
+	// In-flight deliveries are recycled through a free list and fire
+	// through one bound callback, so forwarding a frame never allocates.
+	delivFree []*delivery
+	deliverFn func(any)
+
 	// Stats
 	FramesDelivered uint64
 	FramesDropped   uint64
 	BytesDelivered  uint64
+}
+
+// delivery is one scheduled frame arrival at a port.
+type delivery struct {
+	p *port
+	f *wire.Frame
 }
 
 type port struct {
@@ -68,7 +79,9 @@ type port struct {
 
 // NewSwitch creates a switch with the given link characteristics.
 func NewSwitch(eng *sim.Engine, link params.Link, rng *sim.RNG) *Switch {
-	return &Switch{eng: eng, link: link, rng: rng, ports: make(map[wire.MAC]*port)}
+	s := &Switch{eng: eng, link: link, rng: rng, ports: make(map[wire.MAC]*port)}
+	s.deliverFn = func(x any) { s.deliverNow(x.(*delivery)) }
+	return s
 }
 
 // SetFault installs (or clears, with nil) the fault-injection plan.
@@ -117,16 +130,19 @@ func (s *Switch) Send(f *wire.Frame) {
 	arrival := egStart + ser + s.link.PropagationDelay
 	arrival += s.rng.Jitter(0, s.link.JitterSD)
 
-	// Fault injection.
+	// Fault injection. The caller's frame reference transfers to the
+	// delivery; drops release it and duplicates take an extra one.
 	if s.fault.matches(f) {
 		if s.rng.Bool(s.fault.DropProb) {
 			s.FramesDropped++
+			f.Release()
 			return
 		}
 		if s.fault.DelayProb > 0 && s.rng.Bool(s.fault.DelayProb) {
 			arrival += s.fault.DelayTime
 		}
 		if s.fault.DupProb > 0 && s.rng.Bool(s.fault.DupProb) {
+			f.Ref()
 			s.deliver(dst, f, arrival+s.rng.Jitter(ser, s.link.JitterSD))
 		}
 	}
@@ -134,9 +150,24 @@ func (s *Switch) Send(f *wire.Frame) {
 }
 
 func (s *Switch) deliver(p *port, f *wire.Frame, at sim.Time) {
-	s.eng.Schedule(at, func() {
-		s.FramesDelivered++
-		s.BytesDelivered += uint64(f.WireBytes())
-		p.rx.ReceiveFrame(f)
-	})
+	var d *delivery
+	if k := len(s.delivFree); k > 0 {
+		d = s.delivFree[k-1]
+		s.delivFree[k-1] = nil
+		s.delivFree = s.delivFree[:k-1]
+	} else {
+		d = &delivery{}
+	}
+	d.p, d.f = p, f
+	s.eng.ScheduleArg(at, s.deliverFn, d)
+}
+
+// deliverNow hands the frame (and its reference) to the destination port.
+func (s *Switch) deliverNow(d *delivery) {
+	p, f := d.p, d.f
+	d.p, d.f = nil, nil
+	s.delivFree = append(s.delivFree, d)
+	s.FramesDelivered++
+	s.BytesDelivered += uint64(f.WireBytes())
+	p.rx.ReceiveFrame(f)
 }

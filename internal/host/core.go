@@ -18,6 +18,11 @@ import (
 // A core with no work, no busy-polling rank, and sleep enabled enters the
 // C1E state after IdleSleepDelay; the next interrupt then pays
 // WakeupLatency before its handler starts (Section IV-B1).
+//
+// Both contexts recycle their bookkeeping records (userTask, irqItem)
+// through per-core free lists and schedule through pre-bound callbacks, so
+// submitting work allocates nothing in steady state. Use the Arg variants
+// with a long-lived callback to keep the caller side allocation-free too.
 type Core struct {
 	host *Host
 	ID   int
@@ -33,7 +38,30 @@ type Core struct {
 	sleepTimer *sim.Event
 	idleSince  sim.Time
 
+	// Free lists and callbacks bound once at construction; see newCore.
+	taskFree     []*userTask
+	irqFree      []*irqItem
+	irqFireFn    func(any)
+	completeFn   func(any)
+	sleepEnterFn func()
+
 	Stats CoreStats
+}
+
+// newCore builds a core with its bound callbacks, so scheduling later never
+// creates a closure.
+func newCore(h *Host, id int) *Core {
+	c := &Core{host: h, ID: id}
+	c.irqFireFn = func(x any) { c.irqFire(x.(*irqItem)) }
+	c.completeFn = func(x any) { c.userComplete(x.(*userTask)) }
+	c.sleepEnterFn = func() {
+		c.sleepTimer = nil
+		if !c.Busy() && c.pollers == 0 && !c.sleeping {
+			c.sleeping = true
+			c.idleSince = c.host.eng.Now()
+		}
+	}
+	return c
 }
 
 // CoreStats accumulates per-core accounting.
@@ -53,10 +81,59 @@ type CoreStats struct {
 
 type userTask struct {
 	remaining sim.Time
-	fn        func()
+	fn        func(any)
+	arg       any
 	timer     *sim.Event
 	lastStart sim.Time
 	running   bool
+}
+
+// irqItem carries one queued IRQ-context callback through the engine.
+type irqItem struct {
+	fn  func(any)
+	arg any
+}
+
+// callFunc adapts a plain func() carried as the arg of an Arg-variant
+// submission. func values are pointer-shaped, so the conversion to any does
+// not allocate; only the caller's closure (if any) does.
+func callFunc(x any) { x.(func())() }
+
+func (c *Core) getTask(dur sim.Time, fn func(any), arg any) *userTask {
+	var t *userTask
+	if n := len(c.taskFree); n > 0 {
+		t = c.taskFree[n-1]
+		c.taskFree[n-1] = nil
+		c.taskFree = c.taskFree[:n-1]
+	} else {
+		t = &userTask{}
+	}
+	t.remaining = dur
+	t.fn = fn
+	t.arg = arg
+	return t
+}
+
+func (c *Core) putTask(t *userTask) {
+	t.fn = nil
+	t.arg = nil
+	t.timer = nil
+	t.running = false
+	c.taskFree = append(c.taskFree, t)
+}
+
+func (c *Core) getIRQItem(fn func(any), arg any) *irqItem {
+	var it *irqItem
+	if n := len(c.irqFree); n > 0 {
+		it = c.irqFree[n-1]
+		c.irqFree[n-1] = nil
+		c.irqFree = c.irqFree[:n-1]
+	} else {
+		it = &irqItem{}
+	}
+	it.fn = fn
+	it.arg = arg
+	return it
 }
 
 // SubmitIRQ queues interrupt-context work of the given duration; fn runs at
@@ -64,6 +141,12 @@ type userTask struct {
 // hardware interrupt delivery for wake-up/statistics purposes (NAPI
 // per-packet items pass false).
 func (c *Core) SubmitIRQ(dur sim.Time, wasInterrupt bool, fn func()) {
+	c.SubmitIRQArg(dur, wasInterrupt, callFunc, fn)
+}
+
+// SubmitIRQArg is the allocation-free variant of SubmitIRQ: fn should be a
+// long-lived callback and arg a pointer, so nothing escapes per call.
+func (c *Core) SubmitIRQArg(dur sim.Time, wasInterrupt bool, fn func(any), arg any) {
 	eng := c.host.eng
 	now := eng.Now()
 	start := now
@@ -86,10 +169,16 @@ func (c *Core) SubmitIRQ(dur sim.Time, wasInterrupt bool, fn func()) {
 	c.irqDepth++
 	c.irqBusyUntil = start + dur
 	c.Stats.IRQBusy += dur
-	eng.Schedule(start+dur, func() {
-		fn()
-		c.irqDone()
-	})
+	eng.ScheduleArg(start+dur, c.irqFireFn, c.getIRQItem(fn, arg))
+}
+
+func (c *Core) irqFire(it *irqItem) {
+	fn, arg := it.fn, it.arg
+	it.fn = nil
+	it.arg = nil
+	c.irqFree = append(c.irqFree, it)
+	fn(arg)
+	c.irqDone()
 }
 
 func (c *Core) irqDone() {
@@ -111,10 +200,15 @@ func (c *Core) irqDone() {
 // SubmitUser queues user-context work of the given duration on this core;
 // fn runs at its completion. User work is FIFO and preempted by IRQ work.
 func (c *Core) SubmitUser(dur sim.Time, fn func()) {
+	c.SubmitUserArg(dur, callFunc, fn)
+}
+
+// SubmitUserArg is the allocation-free variant of SubmitUser.
+func (c *Core) SubmitUserArg(dur sim.Time, fn func(any), arg any) {
 	if dur < 0 {
 		panic(fmt.Sprintf("host: negative user work %d", dur))
 	}
-	t := &userTask{remaining: dur, fn: fn}
+	t := c.getTask(dur, fn, arg)
 	c.cancelSleepTimer()
 	now := c.host.eng.Now()
 	if c.sleeping {
@@ -135,9 +229,7 @@ func (c *Core) runUser(now sim.Time) {
 	t := c.curUser
 	t.running = true
 	t.lastStart = now
-	t.timer = c.host.eng.Schedule(now+t.remaining, func() {
-		c.userComplete(t)
-	})
+	t.timer = c.host.eng.ScheduleArg(now+t.remaining, c.completeFn, t)
 }
 
 func (c *Core) userComplete(t *userTask) {
@@ -145,7 +237,9 @@ func (c *Core) userComplete(t *userTask) {
 	t.remaining = 0
 	c.curUser = nil
 	c.Stats.UserTasks++
-	t.fn()
+	fn, arg := t.fn, t.arg
+	c.putTask(t)
+	fn(arg)
 	now := c.host.eng.Now()
 	if c.curUser == nil && c.irqDepth == 0 {
 		c.startNextUser(now)
@@ -159,6 +253,7 @@ func (c *Core) startNextUser(now sim.Time) {
 	}
 	c.curUser = c.userQ[0]
 	copy(c.userQ, c.userQ[1:])
+	c.userQ[len(c.userQ)-1] = nil
 	c.userQ = c.userQ[:len(c.userQ)-1]
 	c.runUser(now)
 }
@@ -188,9 +283,7 @@ func (c *Core) resumeUser(now sim.Time) {
 	}
 	t.running = true
 	t.lastStart = now
-	t.timer = c.host.eng.Schedule(now+t.remaining, func() {
-		c.userComplete(t)
-	})
+	t.timer = c.host.eng.ScheduleArg(now+t.remaining, c.completeFn, t)
 }
 
 // Poll registers (true) or unregisters (false) a busy-polling rank on this
@@ -227,13 +320,7 @@ func (c *Core) maybeIdle(now sim.Time) {
 		return
 	}
 	c.cancelSleepTimer()
-	c.sleepTimer = c.host.eng.Schedule(now+c.host.P.IdleSleepDelay, func() {
-		c.sleepTimer = nil
-		if !c.Busy() && c.pollers == 0 && !c.sleeping {
-			c.sleeping = true
-			c.idleSince = c.host.eng.Now()
-		}
-	})
+	c.sleepTimer = c.host.eng.Schedule(now+c.host.P.IdleSleepDelay, c.sleepEnterFn)
 }
 
 func (c *Core) wake(now sim.Time) {

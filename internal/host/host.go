@@ -72,7 +72,7 @@ func New(eng *sim.Engine, id int, p params.Host) *Host {
 	h := &Host{ID: id, eng: eng, P: p}
 	h.Cores = make([]*Core, p.Cores)
 	for i := range h.Cores {
-		h.Cores[i] = &Core{host: h, ID: i}
+		h.Cores[i] = newCore(h, i)
 		// Idle cores start their C1E countdown immediately.
 		h.Cores[i].maybeIdle(eng.Now())
 	}

@@ -3,6 +3,7 @@ package nic
 import (
 	"fmt"
 
+	"openmxsim/internal/host"
 	"openmxsim/internal/sim"
 )
 
@@ -70,30 +71,48 @@ func newCoalescer(cfg Config, q *rxQueue) coalescer {
 	case StrategyDisabled:
 		return &disabledCoalescer{q: q}
 	case StrategyTimeout:
-		return &timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}
+		c := &timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}
+		c.bindTimer()
+		return c
 	case StrategyOpenMX:
-		return &omxCoalescer{timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}}
+		c := &omxCoalescer{timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}}
+		c.bindTimer()
+		return c
 	case StrategyStream:
-		return &streamCoalescer{omxCoalescer{timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}}, false}
+		c := &streamCoalescer{omxCoalescer{timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}}, false}
+		c.bindTimer()
+		return c
 	case StrategyAdaptive:
 		c := &adaptiveCoalescer{timeoutCoalescer: timeoutCoalescer{q: q, delay: cfg.Delay}}
 		p := q.nic.p.NIC
 		if c.delay < p.AdaptiveMin {
 			c.delay = p.AdaptiveMin
 		}
+		c.bindTimer()
 		return c
 	default:
 		panic(fmt.Sprintf("nic: unknown strategy %d", cfg.Strategy))
 	}
 }
 
-// rxQueue is one receive queue: completion ring + mask + strategy.
+// rxQueue is one receive queue: completion ring + mask + strategy. The poll
+// callbacks are bound once at NIC construction; pollCore/polled/cur carry
+// the state of the single in-flight NAPI cycle (the mask guarantees at most
+// one per queue).
 type rxQueue struct {
 	nic       *NIC
 	idx       int
 	completed []*RxDesc
 	masked    bool
 	coal      coalescer
+
+	pollCore    *host.Core
+	polled      int
+	cur         *RxDesc // descriptor currently at the driver
+	msiFn       func()
+	pollStartFn func(any)
+	pollEndFn   func(any)
+	contFn      func()
 }
 
 // disabledCoalescer: interrupt per packet.
@@ -120,6 +139,16 @@ type timeoutCoalescer struct {
 	maxFrames int
 	timer     *sim.Event
 	count     int
+	timerFn   func() // bound once so arming the timer never allocates
+}
+
+// bindTimer creates the coalescing timer callback once; fireTimeout is
+// shared by every strategy that embeds the timeout behaviour.
+func (c *timeoutCoalescer) bindTimer() {
+	c.timerFn = func() {
+		c.timer = nil
+		c.fireTimeout()
+	}
 }
 
 func (c *timeoutCoalescer) Name() string {
@@ -142,10 +171,7 @@ func (c *timeoutCoalescer) arm() {
 	if c.timer != nil {
 		return
 	}
-	c.timer = c.q.nic.eng.After(c.delay, func() {
-		c.timer = nil
-		c.fireTimeout()
-	})
+	c.timer = c.q.nic.eng.After(c.delay, c.timerFn)
 }
 
 func (c *timeoutCoalescer) fireTimeout() {

@@ -64,6 +64,14 @@ type Stats struct {
 }
 
 // NIC is one interface attached to a host and a fabric port.
+//
+// Completion-ring descriptors are recycled through a per-NIC free list and
+// every hot-path continuation (firmware -> DMA -> completion -> NAPI poll)
+// is a callback bound once at construction, so receiving and transmitting a
+// frame allocates nothing in steady state. A received frame's reference is
+// released after the driver finishes processing its descriptor (the next
+// poll step); descriptors handed to Driver.Process are only valid until the
+// driver calls done.
 type NIC struct {
 	eng *sim.Engine
 	p   *params.Params
@@ -78,6 +86,11 @@ type NIC struct {
 	dmaBusyUntil sim.Time
 	txBusyUntil  sim.Time
 	inflight     int // frames accepted but whose DMA has not completed
+
+	descFree    []*RxDesc
+	submitDMAFn func(any)
+	dmaDoneFn   func(any)
+	txWireFn    func(any)
 
 	Stats Stats
 }
@@ -103,14 +116,58 @@ func New(eng *sim.Engine, p *params.Params, h *host.Host, sw *fabric.Switch, mac
 		cfg.Queues = 1
 	}
 	n := &NIC{eng: eng, p: p, hst: h, sw: sw, mac: mac}
+	n.submitDMAFn = func(x any) { n.submitDMA(x.(*RxDesc)) }
+	n.dmaDoneFn = func(x any) { n.dmaDone(x.(*RxDesc)) }
+	n.txWireFn = func(x any) { n.txWire(x.(*wire.Frame)) }
 	n.queues = make([]*rxQueue, cfg.Queues)
 	for i := range n.queues {
 		q := &rxQueue{nic: n, idx: i}
 		q.coal = newCoalescer(cfg, q)
+		q.msiFn = func() {
+			q.pollCore.SubmitIRQArg(n.p.Host.IRQEntry, true, q.pollStartFn, nil)
+		}
+		q.pollStartFn = func(any) {
+			n.Stats.PollCycles++
+			q.polled = 0
+			n.pollStep(q)
+		}
+		q.pollEndFn = func(any) {
+			if q.polled >= n.p.Host.NAPIBudget && len(q.completed) > 0 {
+				// Budget exhausted: NAPI reschedules the poll on the same
+				// core without re-enabling interrupts.
+				n.Stats.PollCycles++
+				q.polled = 0
+				n.pollStep(q)
+				return
+			}
+			q.masked = false
+			if len(q.completed) > 0 {
+				// Packets slipped in between the last pop and the unmask.
+				q.coal.onBacklog()
+			}
+		}
+		q.contFn = func() { n.pollStep(q) }
 		n.queues[i] = q
 	}
 	sw.Attach(mac, n)
 	return n
+}
+
+// getDesc takes a completion-ring descriptor from the free list.
+func (n *NIC) getDesc() *RxDesc {
+	if k := len(n.descFree); k > 0 {
+		d := n.descFree[k-1]
+		n.descFree[k-1] = nil
+		n.descFree = n.descFree[:k-1]
+		return d
+	}
+	return &RxDesc{}
+}
+
+// putDesc recycles a fully processed descriptor.
+func (n *NIC) putDesc(d *RxDesc) {
+	*d = RxDesc{}
+	n.descFree = append(n.descFree, d)
 }
 
 // SetDriver binds the host-side packet consumer.
@@ -134,11 +191,14 @@ func (n *NIC) Backlog() int {
 	return total
 }
 
-// ReceiveFrame implements fabric.Receiver: a frame's last bit arrived.
+// ReceiveFrame implements fabric.Receiver: a frame's last bit arrived. The
+// NIC takes over the frame's wire reference and releases it once the driver
+// has processed the descriptor (or immediately, on a ring overflow drop).
 func (n *NIC) ReceiveFrame(f *wire.Frame) {
 	now := n.eng.Now()
 	if n.Backlog() >= n.p.NIC.RxRingEntries {
 		n.Stats.RingDrops++
+		f.Release()
 		return
 	}
 	q := n.queues[n.queueFor(f)]
@@ -158,7 +218,10 @@ func (n *NIC) ReceiveFrame(f *wire.Frame) {
 	}
 	n.fwBusyUntil = start + fw
 
-	d := &RxDesc{Frame: f, Queue: q.idx, ArrivedAt: now}
+	d := n.getDesc()
+	d.Frame = f
+	d.Queue = q.idx
+	d.ArrivedAt = now
 	if q.coal.inspectsMarkers() && f.Marked() {
 		d.Marked = true
 	}
@@ -166,22 +229,25 @@ func (n *NIC) ReceiveFrame(f *wire.Frame) {
 	n.Stats.PacketsReceived++
 	n.Stats.BytesReceived += uint64(f.WireBytes())
 
-	n.eng.Schedule(n.fwBusyUntil, func() { n.submitDMA(q, d) })
+	n.eng.ScheduleArg(n.fwBusyUntil, n.submitDMAFn, d)
 }
 
-func (n *NIC) submitDMA(q *rxQueue, d *RxDesc) {
+func (n *NIC) submitDMA(d *RxDesc) {
 	now := n.eng.Now()
 	start := now
 	if n.dmaBusyUntil > start {
 		start = n.dmaBusyUntil
 	}
 	n.dmaBusyUntil = start + n.p.NIC.DMATime(d.Frame.PayloadLen+wire.HeaderLen)
-	n.eng.Schedule(n.dmaBusyUntil, func() {
-		n.inflight--
-		d.DMADoneAt = n.eng.Now()
-		q.completed = append(q.completed, d)
-		q.coal.onDMAComplete(d, n.inflight)
-	})
+	n.eng.ScheduleArg(n.dmaBusyUntil, n.dmaDoneFn, d)
+}
+
+func (n *NIC) dmaDone(d *RxDesc) {
+	n.inflight--
+	d.DMADoneAt = n.eng.Now()
+	q := n.queues[d.Queue]
+	q.completed = append(q.completed, d)
+	q.coal.onDMAComplete(d, n.inflight)
 }
 
 func (n *NIC) queueFor(f *wire.Frame) int {
@@ -214,13 +280,10 @@ func (n *NIC) requestInterrupt(q *rxQueue, cause interruptCause) {
 	case causeMarked:
 		n.Stats.MarkedImmediate++
 	}
-	core := n.hst.IRQTarget(q.idx)
-	n.eng.After(n.p.NIC.MSIDelivery, func() {
-		core.SubmitIRQ(n.p.Host.IRQEntry, true, func() {
-			n.Stats.PollCycles++
-			n.pollNext(q, core, 0)
-		})
-	})
+	// One interrupt is outstanding per queue while masked, so the target
+	// core parks on the queue until the poll cycle ends.
+	q.pollCore = n.hst.IRQTarget(q.idx)
+	n.eng.After(n.p.NIC.MSIDelivery, q.msiFn)
 }
 
 type interruptCause int
@@ -231,33 +294,29 @@ const (
 	causeImmediate // coalescing disabled
 )
 
-// pollNext is the NAPI poll loop: process up to budget packets, then close
-// the cycle and unmask.
-func (n *NIC) pollNext(q *rxQueue, core *host.Core, polled int) {
-	if len(q.completed) == 0 || polled >= n.p.Host.NAPIBudget {
-		core.SubmitIRQ(n.p.Host.NAPIPollEnd, false, func() {
-			if polled >= n.p.Host.NAPIBudget && len(q.completed) > 0 {
-				// Budget exhausted: NAPI reschedules the poll on the same
-				// core without re-enabling interrupts.
-				n.Stats.PollCycles++
-				n.pollNext(q, core, 0)
-				return
-			}
-			q.masked = false
-			if len(q.completed) > 0 {
-				// Packets slipped in between the last pop and the unmask.
-				q.coal.onBacklog()
-			}
-		})
+// pollStep is the NAPI poll loop: process up to budget packets, then close
+// the cycle and unmask. Each entry first retires the descriptor (and frame)
+// whose driver processing just completed.
+func (n *NIC) pollStep(q *rxQueue) {
+	if d := q.cur; d != nil {
+		q.cur = nil
+		if d.Frame != nil {
+			d.Frame.Release()
+		}
+		n.putDesc(d)
+	}
+	if len(q.completed) == 0 || q.polled >= n.p.Host.NAPIBudget {
+		q.pollCore.SubmitIRQArg(n.p.Host.NAPIPollEnd, false, q.pollEndFn, nil)
 		return
 	}
 	d := q.completed[0]
 	copy(q.completed, q.completed[1:])
+	q.completed[len(q.completed)-1] = nil
 	q.completed = q.completed[:len(q.completed)-1]
 	n.Stats.PacketsPolled++
-	n.drv.Process(d, core, func() {
-		n.pollNext(q, core, polled+1)
-	})
+	q.cur = d
+	q.polled++
+	n.drv.Process(d, q.pollCore, q.contFn)
 }
 
 // SendFrame transmits a frame: the NIC fetches it by DMA, hands it to the
@@ -275,13 +334,21 @@ func (n *NIC) SendFrame(f *wire.Frame) {
 	n.txBusyUntil = start + n.p.NIC.TxTime(f.WireBytes())
 	n.Stats.PacketsSent++
 	n.Stats.BytesSent += uint64(f.WireBytes())
-	n.eng.Schedule(n.txBusyUntil, func() {
-		n.sw.Send(f)
-		q := n.queues[0] // the tx ring reports through queue 0
-		d := &RxDesc{TxDone: true, Queue: q.idx, DMADoneAt: n.eng.Now()}
-		q.completed = append(q.completed, d)
-		q.coal.onDMAComplete(d, n.inflight)
-	})
+	n.eng.ScheduleArg(n.txBusyUntil, n.txWireFn, f)
+}
+
+// txWire puts a fetched frame on the wire and reports the tx completion
+// through the ring. The caller's frame reference travels with the frame into
+// the fabric.
+func (n *NIC) txWire(f *wire.Frame) {
+	n.sw.Send(f)
+	q := n.queues[0] // the tx ring reports through queue 0
+	d := n.getDesc()
+	d.TxDone = true
+	d.Queue = q.idx
+	d.DMADoneAt = n.eng.Now()
+	q.completed = append(q.completed, d)
+	q.coal.onDMAComplete(d, n.inflight)
 }
 
 // String describes the NIC for diagnostics.

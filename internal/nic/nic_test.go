@@ -384,3 +384,45 @@ func TestParseStrategy(t *testing.T) {
 		t.Error("bogus strategy accepted")
 	}
 }
+
+// nopDriver completes packets with a fixed cost and no bookkeeping, so the
+// allocation guard below measures only the stack's own hot path.
+type nopDriver struct{ cost sim.Time }
+
+func (d *nopDriver) Process(rx *RxDesc, core *host.Core, done func()) {
+	core.SubmitIRQ(d.cost, false, done)
+}
+
+// The full frame round trip — pooled frame -> tx ring -> fabric -> rx ring
+// -> DMA -> interrupt -> NAPI poll -> driver -> release — must allocate at
+// most one object per frame in steady state (the allowance covers incidental
+// runtime growth; the path itself recycles everything). This is the
+// regression guard for the zero-allocation hot path: reintroducing
+// per-packet garbage anywhere in nic/fabric/host/sim fails here.
+func TestFrameRoundTripAllocGuard(t *testing.T) {
+	eng := sim.NewEngine()
+	p := params.Default()
+	p.Link.JitterSD = 0
+	p.Host.SleepEnabled = false
+	sw := fabric.NewSwitch(eng, p.Link, sim.NewRNG(1))
+	src := New(eng, p, host.New(eng, 0, p.Host), sw, wire.NodeMAC(0), Config{Strategy: StrategyDisabled})
+	src.SetDriver(&nopDriver{cost: 100})
+	dst := New(eng, p, host.New(eng, 1, p.Host), sw, wire.NodeMAC(1), Config{Strategy: StrategyDisabled})
+	dst.SetDriver(&nopDriver{cost: 100})
+
+	pool := wire.NewPool()
+	h := wire.Header{Type: wire.TypeSmall}
+	roundTrip := func() {
+		src.SendFrame(pool.Get(wire.NodeMAC(0), wire.NodeMAC(1), h, nil, 64))
+		eng.Run()
+	}
+	for i := 0; i < 64; i++ { // warm every free list on the path
+		roundTrip()
+	}
+	if got := testing.AllocsPerRun(200, roundTrip); got > 1 {
+		t.Fatalf("frame round trip allocates %v objects/op in steady state, want <= 1", got)
+	}
+	if want := uint64(64 + 1 + 200); dst.Stats.PacketsReceived < want {
+		t.Fatalf("received %d frames, want >= %d", dst.Stats.PacketsReceived, want)
+	}
+}

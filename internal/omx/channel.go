@@ -10,6 +10,10 @@ import (
 // for eager traffic and the rendezvous/notify control packets. Pull
 // requests and replies recover independently (block re-requests), as in
 // MXoE.
+//
+// The channel retains sent frames (one pool reference each) until they are
+// cumulatively acked; retransmission sends pooled copies so the retained
+// originals stay immutable. Timer callbacks are bound once per channel.
 type channel struct {
 	ep     *Endpoint
 	remote Addr
@@ -42,13 +46,22 @@ type channel struct {
 	// Medium send slots: concurrent mediums per channel are bounded by
 	// the endpoint's send-ring capacity; excess sends queue here.
 	mediumActive  int
-	mediumPending []func()
+	mediumPending []*sendOp
+
+	// Timer callbacks, bound once at construction.
+	resendFn       func()
+	kernelAckFn    func()
+	connectRetryFn func()
 }
 
+// txPacket is one sequenced packet: the retained frame plus the callback to
+// run when it is handed to the NIC. Records recycle through the stack's
+// free list.
 type txPacket struct {
 	frame *wire.Frame
 	seq   uint32
-	onTx  func() // runs when the packet is handed to the NIC
+	fn    func(any) // runs with arg when the packet is handed to the NIC
+	arg   any
 }
 
 // mediumReasm is the library-level reassembly state of one medium message
@@ -65,12 +78,36 @@ type mediumReasm struct {
 }
 
 func newChannel(ep *Endpoint, remote Addr) *channel {
-	return &channel{
+	c := &channel{
 		ep:           ep,
 		remote:       remote,
 		recvSeen:     make(map[uint32]struct{}),
 		lastRxCoreID: -1,
 	}
+	c.resendFn = func() {
+		c.resendTimer = nil
+		c.retransmit()
+	}
+	c.kernelAckFn = func() {
+		c.ackTimer = nil
+		p := c.stack().p
+		if len(c.ep.ring) < p.Proto.EventRingEntries/16 {
+			if c.recvNext != c.ackedTo {
+				c.sendAck(false, c.recvNext)
+			}
+			return
+		}
+		if c.consumedTo != c.ackedTo {
+			c.sendAck(false, c.consumedTo)
+			return
+		}
+		c.armKernelAck() // still backed up: check again later
+	}
+	c.connectRetryFn = func() {
+		c.connectTry = nil
+		c.ep.sendConnect(c)
+	}
+	return c
 }
 
 func (c *channel) stack() *Stack { return c.ep.stack }
@@ -80,9 +117,12 @@ func (c *channel) inWindow(seq uint32) bool {
 	return int(seq-c.firstUnacked) < c.stack().p.Proto.SendWindow
 }
 
-// send enqueues a sequenced packet and pumps the window.
-func (c *channel) send(f *wire.Frame, onTx func()) {
-	pk := &txPacket{frame: f, seq: c.nextSeq, onTx: onTx}
+// send enqueues a sequenced packet and pumps the window. fn(arg) runs when
+// the packet is handed to the NIC; both must outlive the packet (use
+// long-lived callbacks). The caller's frame reference becomes the channel's
+// retention reference, released once the packet is cumulatively acked.
+func (c *channel) send(f *wire.Frame, fn func(any), arg any) {
+	pk := c.stack().getTx(f, c.nextSeq, fn, arg)
 	f.Header.Seq = pk.seq
 	c.nextSeq++
 	c.txq = append(c.txq, pk)
@@ -94,11 +134,14 @@ func (c *channel) pump() {
 	for len(c.txq) > 0 && c.inWindow(c.txq[0].seq) {
 		pk := c.txq[0]
 		copy(c.txq, c.txq[1:])
+		c.txq[len(c.txq)-1] = nil
 		c.txq = c.txq[:len(c.txq)-1]
 		c.retained = append(c.retained, pk)
+		// One reference travels the wire; the retained one stays here.
+		pk.frame.Ref()
 		c.stack().sendFrame(pk.frame)
-		if pk.onTx != nil {
-			pk.onTx()
+		if pk.fn != nil {
+			pk.fn(pk.arg)
 		}
 	}
 	c.armResend()
@@ -115,24 +158,24 @@ func (c *channel) armResend() {
 	if c.resendTimer != nil {
 		return
 	}
-	c.resendTimer = c.stack().eng.After(c.stack().p.Proto.ResendTimeout, func() {
-		c.resendTimer = nil
-		c.retransmit()
-	})
+	c.resendTimer = c.stack().eng.After(c.stack().p.Proto.ResendTimeout, c.resendFn)
 }
 
-// retransmit resends every unacked packet (go-back-N recovery).
+// retransmit resends every unacked packet (go-back-N recovery). Copies go
+// on the wire so the retained originals stay valid for the next timeout.
 func (c *channel) retransmit() {
+	s := c.stack()
 	for _, pk := range c.retained {
-		c.stack().Stats.Retransmits++
-		c.stack().sendFrame(cloneFrame(pk.frame))
+		s.Stats.Retransmits++
+		s.sendFrame(s.pool.Clone(pk.frame))
 	}
 	c.armResend()
 }
 
 // onAck processes a cumulative ack: cum is the peer's next-expected seq.
 func (c *channel) onAck(cum uint32) {
-	c.stack().Stats.AcksReceived++
+	s := c.stack()
+	s.Stats.AcksReceived++
 	if int32(cum-c.firstUnacked) <= 0 {
 		return // stale
 	}
@@ -141,7 +184,13 @@ func (c *channel) onAck(cum uint32) {
 	for _, pk := range c.retained {
 		if int32(pk.seq-cum) >= 0 {
 			keep = append(keep, pk)
+			continue
 		}
+		pk.frame.Release() // retention reference
+		s.putTx(pk)
+	}
+	for i := len(keep); i < len(c.retained); i++ {
+		c.retained[i] = nil
 	}
 	c.retained = keep
 	if c.resendTimer != nil {
@@ -186,21 +235,7 @@ func (c *channel) armKernelAck() {
 	if c.ackTimer != nil {
 		return
 	}
-	c.ackTimer = c.stack().eng.After(c.stack().p.Proto.AckDelay, func() {
-		c.ackTimer = nil
-		p := c.stack().p
-		if len(c.ep.ring) < p.Proto.EventRingEntries/16 {
-			if c.recvNext != c.ackedTo {
-				c.sendAck(false, c.recvNext)
-			}
-			return
-		}
-		if c.consumedTo != c.ackedTo {
-			c.sendAck(false, c.consumedTo)
-			return
-		}
-		c.armKernelAck() // still backed up: check again later
-	})
+	c.ackTimer = c.stack().eng.After(c.stack().p.Proto.AckDelay, c.kernelAckFn)
 }
 
 // noteConsumed runs when the library applies an event covering sequences
@@ -248,26 +283,17 @@ func (c *channel) sendAck(fromApp bool, seq uint32) {
 		DstEP: c.remote.EP,
 		Aux:   c.ackedTo,
 	}
-	f := wire.NewFrame(s.MAC(), c.remote.MAC, h, nil, 0)
+	f := s.newFrame(s.MAC(), c.remote.MAC, h, nil, 0)
 	s.Stats.AcksSent++
 	if fromApp {
-		c.ep.core.SubmitUser(s.p.Driver.AckCost, func() {
-			s.sendFrame(f)
-		})
+		c.ep.core.SubmitUserArg(s.p.Driver.AckCost, s.sendFrameFn, f)
 		return
 	}
 	core := s.hst.Cores[0]
 	if c.lastRxCoreID >= 0 {
 		core = s.hst.Cores[c.lastRxCoreID]
 	}
-	core.SubmitIRQ(s.p.Driver.AckCost, false, func() {
-		s.sendFrame(f)
-	})
-}
-
-func cloneFrame(f *wire.Frame) *wire.Frame {
-	c := *f
-	return &c
+	core.SubmitIRQArg(s.p.Driver.AckCost, false, s.sendFrameFn, f)
 }
 
 // mediumDone releases the caller's medium send slot, handing it to the
@@ -276,8 +302,9 @@ func (c *channel) mediumDone() {
 	if len(c.mediumPending) > 0 {
 		next := c.mediumPending[0]
 		copy(c.mediumPending, c.mediumPending[1:])
+		c.mediumPending[len(c.mediumPending)-1] = nil
 		c.mediumPending = c.mediumPending[:len(c.mediumPending)-1]
-		next() // the slot passes directly to the next message
+		c.ep.emitMediumFrags(next) // the slot passes directly to the next message
 		return
 	}
 	c.mediumActive--

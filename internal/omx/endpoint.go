@@ -68,6 +68,8 @@ const (
 	evNotifyRecvd
 )
 
+// event is one entry of the driver-to-library ring. Events recycle through
+// a per-endpoint free list once the library has applied them.
 type event struct {
 	kind       evKind
 	src        Addr
@@ -90,6 +92,20 @@ type unexpMsg struct {
 	data  []byte
 	size  int
 	msgID uint32
+}
+
+// sendOp carries one posted operation (send or shared-memory transfer)
+// through the user-context cost charge to its protocol action, replacing a
+// per-call closure. Records recycle through a per-endpoint free list.
+type sendOp struct {
+	dst   Addr
+	match uint64
+	data  []byte
+	size  int
+	frags int
+	h     *SendHandle
+	ch    *channel
+	local *Endpoint // shm destination
 }
 
 // Endpoint is an open MX endpoint: the unit an application rank talks to.
@@ -116,10 +132,21 @@ type Endpoint struct {
 	// Large-message state.
 	pulls   map[pullKey]*pullState // receiver side
 	pullSrc map[uint32]*largeSend  // sender side
+
+	// Free lists and once-bound callbacks for the hot paths.
+	evFree        []*event
+	opFree        []*sendOp
+	applyFn       func(any)
+	popOneFn      func(any)
+	matchOrPostFn func(any)
+	smallFn       func(any)
+	mediumFn      func(any)
+	largeFn       func(any)
+	shmFn         func(any)
 }
 
 func newEndpoint(s *Stack, id uint8, core *host.Core) *Endpoint {
-	return &Endpoint{
+	e := &Endpoint{
 		stack:      s,
 		ID:         id,
 		core:       core,
@@ -129,6 +156,49 @@ func newEndpoint(s *Stack, id uint8, core *host.Core) *Endpoint {
 		pulls:      make(map[pullKey]*pullState),
 		pullSrc:    make(map[uint32]*largeSend),
 	}
+	e.applyFn = func(x any) {
+		ev := x.(*event)
+		e.applyEvent(ev)
+		e.putEvent(ev)
+		e.popOne()
+	}
+	e.popOneFn = func(any) { e.popOne() }
+	e.matchOrPostFn = func(x any) { e.matchOrPost(x.(*RecvHandle)) }
+	e.smallFn = func(x any) { e.smallPost(x.(*sendOp)) }
+	e.mediumFn = func(x any) { e.mediumPost(x.(*sendOp)) }
+	e.largeFn = func(x any) { e.largePost(x.(*sendOp)) }
+	e.shmFn = func(x any) { e.shmPost(x.(*sendOp)) }
+	return e
+}
+
+func (e *Endpoint) getEvent() *event {
+	if n := len(e.evFree); n > 0 {
+		ev := e.evFree[n-1]
+		e.evFree[n-1] = nil
+		e.evFree = e.evFree[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (e *Endpoint) putEvent(ev *event) {
+	*ev = event{}
+	e.evFree = append(e.evFree, ev)
+}
+
+func (e *Endpoint) getOp() *sendOp {
+	if n := len(e.opFree); n > 0 {
+		op := e.opFree[n-1]
+		e.opFree[n-1] = nil
+		e.opFree = e.opFree[:n-1]
+		return op
+	}
+	return &sendOp{}
+}
+
+func (e *Endpoint) putOp(op *sendOp) {
+	*op = sendOp{}
+	e.opFree = append(e.opFree, op)
 }
 
 // Addr returns this endpoint's fabric address.
@@ -175,14 +245,11 @@ func (e *Endpoint) sendConnect(c *channel) {
 		return
 	}
 	h := wire.Header{Type: wire.TypeConnect, SrcEP: e.ID, DstEP: c.remote.EP}
-	e.stack.sendFrame(wire.NewFrame(e.stack.MAC(), c.remote.MAC, h, nil, 0))
+	e.stack.sendFrame(e.stack.newFrame(e.stack.MAC(), c.remote.MAC, h, nil, 0))
 	if c.connectTry != nil {
 		c.connectTry.Cancel()
 	}
-	c.connectTry = e.stack.eng.After(e.stack.p.Proto.ResendTimeout, func() {
-		c.connectTry = nil
-		e.sendConnect(c)
-	})
+	c.connectTry = e.stack.eng.After(e.stack.p.Proto.ResendTimeout, c.connectRetryFn)
 }
 
 // Isend posts a non-blocking send. data may be nil for size-only
@@ -219,9 +286,7 @@ func (e *Endpoint) Irecv(match, mask uint64, buf []byte, capacity int, onDone fu
 	rh := &RecvHandle{Match: match, Mask: mask, Buf: buf, Cap: capacity, onDone: onDone}
 	p := e.stack.p
 	cost := p.Lib.RecvPost + p.Lib.Match
-	e.core.SubmitUser(cost, func() {
-		e.matchOrPost(rh)
-	})
+	e.core.SubmitUserArg(cost, e.matchOrPostFn, rh)
 	return rh
 }
 
@@ -262,26 +327,37 @@ func deliverEager(rh *RecvHandle, src Addr, match uint64, data []byte, size int)
 
 // ---- send paths (user context) ----
 
+// completeSendFn is the NIC-handoff callback of eager single-packet sends.
+func completeSendFn(x any) { x.(*SendHandle).complete() }
+
 func (e *Endpoint) sendSmall(dst Addr, match uint64, data []byte, size int, h *SendHandle) {
 	p := e.stack.p
 	cost := p.Lib.SendPost + p.Driver.TxPacket + e.stack.hst.P.CopyTime(size)
-	e.core.SubmitUser(cost, func() {
-		typ := wire.TypeSmall
-		if size <= 32 {
-			typ = wire.TypeTiny
-		}
-		hd := wire.Header{
-			Type: typ, SrcEP: e.ID, DstEP: dst.EP,
-			Match: match, MsgID: e.allocMsgID(), Aux: uint32(size),
-			FragCount: 1,
-		}
-		if e.stack.Mark.Small {
-			hd.Flags |= wire.FlagLatencySensitive
-		}
-		f := wire.NewFrame(e.stack.MAC(), dst.MAC, hd, cloneData(data), size)
-		e.stack.Stats.SmallSent++
-		e.channelFor(dst).send(f, h.complete)
-	})
+	op := e.getOp()
+	op.dst, op.match, op.data, op.size, op.h = dst, match, data, size, h
+	e.core.SubmitUserArg(cost, e.smallFn, op)
+}
+
+// smallPost runs at the send-post cost's completion: build and queue the
+// single eager packet.
+func (e *Endpoint) smallPost(op *sendOp) {
+	dst, match, data, size, h := op.dst, op.match, op.data, op.size, op.h
+	e.putOp(op)
+	typ := wire.TypeSmall
+	if size <= 32 {
+		typ = wire.TypeTiny
+	}
+	hd := wire.Header{
+		Type: typ, SrcEP: e.ID, DstEP: dst.EP,
+		Match: match, MsgID: e.allocMsgID(), Aux: uint32(size),
+		FragCount: 1,
+	}
+	if e.stack.Mark.Small {
+		hd.Flags |= wire.FlagLatencySensitive
+	}
+	f := e.stack.newFrame(e.stack.MAC(), dst.MAC, hd, cloneData(data), size)
+	e.stack.Stats.SmallSent++
+	e.channelFor(dst).send(f, completeSendFn, h)
 }
 
 func (e *Endpoint) sendMedium(dst Addr, match uint64, data []byte, size int, h *SendHandle) {
@@ -294,24 +370,40 @@ func (e *Endpoint) sendMedium(dst Addr, match uint64, data []byte, size int, h *
 	// The sender copies medium data into the driver's send ring: per-frag
 	// driver work plus the kernel copy, all in user (syscall) context.
 	cost := p.Lib.SendPost + sim.Time(frags)*p.Driver.TxPacket + e.stack.hst.P.CopyTime(size)
-	e.core.SubmitUser(cost, func() {
-		ch := e.channelFor(dst)
-		start := func() { e.emitMediumFrags(ch, dst, match, data, size, frags, h) }
-		if ch.mediumActive >= p.Proto.MediumInflight {
-			// The endpoint's send ring has no free medium slot: queue.
-			ch.mediumPending = append(ch.mediumPending, start)
-			return
-		}
-		ch.mediumActive++
-		start()
-	})
-	return
+	op := e.getOp()
+	op.dst, op.match, op.data, op.size, op.frags, op.h = dst, match, data, size, frags, h
+	e.core.SubmitUserArg(cost, e.mediumFn, op)
+}
+
+// mediumPost claims a medium send slot or queues the message behind one.
+func (e *Endpoint) mediumPost(op *sendOp) {
+	ch := e.channelFor(op.dst)
+	op.ch = ch
+	if ch.mediumActive >= e.stack.p.Proto.MediumInflight {
+		// The endpoint's send ring has no free medium slot: queue.
+		ch.mediumPending = append(ch.mediumPending, op)
+		return
+	}
+	ch.mediumActive++
+	e.emitMediumFrags(op)
+}
+
+// mediumLastFn fires when the last fragment reaches the NIC: the message is
+// complete (buffered semantics) and its send slot is released.
+func mediumLastFn(x any) {
+	op := x.(*sendOp)
+	e, ch, h := op.ch.ep, op.ch, op.h
+	e.putOp(op)
+	h.complete()
+	ch.mediumDone()
 }
 
 // emitMediumFrags owns one medium send slot: it paces the fragments onto
 // the channel and releases the slot when the last fragment reaches the NIC.
-func (e *Endpoint) emitMediumFrags(ch *channel, dst Addr, match uint64, data []byte, size, frags int, h *SendHandle) {
+// It consumes op (recycled by mediumLastFn).
+func (e *Endpoint) emitMediumFrags(op *sendOp) {
 	p := e.stack.p
+	ch, dst, match, data, size, frags := op.ch, op.dst, op.match, op.data, op.size, op.frags
 	fragPayload := e.stack.eagerFragPayload()
 	{
 		msgID := e.allocMsgID()
@@ -343,19 +435,16 @@ func (e *Endpoint) emitMediumFrags(ch *channel, dst Addr, match uint64, data []b
 			if data != nil {
 				fd = data[off : off+plen]
 			}
-			f := wire.NewFrame(e.stack.MAC(), dst.MAC, hd, fd, plen)
-			var onTx func()
+			f := e.stack.newFrame(e.stack.MAC(), dst.MAC, hd, fd, plen)
+			var onTx func(any)
+			var onTxArg any
 			if i == frags-1 {
-				onTx = func() {
-					h.complete()
-					ch.mediumDone()
-				}
+				onTx, onTxArg = mediumLastFn, op
 			}
 			if release <= now {
-				ch.send(f, onTx)
+				ch.send(f, onTx, onTxArg)
 			} else {
-				f, onTx := f, onTx
-				e.stack.eng.Schedule(release, func() { ch.send(f, onTx) })
+				e.stack.schedulePaced(release, ch, f, onTx, onTxArg)
 			}
 			gap := p.Driver.MediumFragGap
 			if d := p.Driver.MediumFragGapJitterDiv; d > 0 && gap > 0 {
@@ -369,32 +458,50 @@ func (e *Endpoint) emitMediumFrags(ch *channel, dst Addr, match uint64, data []b
 func (e *Endpoint) sendLarge(dst Addr, match uint64, data []byte, size int, h *SendHandle) {
 	p := e.stack.p
 	cost := p.Lib.SendPost + p.Driver.TxPacket
-	e.core.SubmitUser(cost, func() {
-		msgID := e.allocMsgID()
-		e.pullSrc[msgID] = &largeSend{msgID: msgID, data: data, size: size, handle: h, dst: dst}
-		hd := wire.Header{
-			Type: wire.TypeRendezvous, SrcEP: e.ID, DstEP: dst.EP,
-			Match: match, MsgID: msgID, Aux: uint32(size),
-		}
-		if e.stack.Mark.Rendezvous {
-			hd.Flags |= wire.FlagLatencySensitive
-		}
-		e.stack.Stats.LargeSent++
-		e.channelFor(dst).send(wire.NewFrame(e.stack.MAC(), dst.MAC, hd, nil, 0), nil)
-	})
+	op := e.getOp()
+	op.dst, op.match, op.data, op.size, op.h = dst, match, data, size, h
+	e.core.SubmitUserArg(cost, e.largeFn, op)
+}
+
+// largePost announces a large message with a rendezvous.
+func (e *Endpoint) largePost(op *sendOp) {
+	dst, match, data, size, h := op.dst, op.match, op.data, op.size, op.h
+	e.putOp(op)
+	msgID := e.allocMsgID()
+	e.pullSrc[msgID] = &largeSend{msgID: msgID, data: data, size: size, handle: h, dst: dst}
+	hd := wire.Header{
+		Type: wire.TypeRendezvous, SrcEP: e.ID, DstEP: dst.EP,
+		Match: match, MsgID: msgID, Aux: uint32(size),
+	}
+	if e.stack.Mark.Rendezvous {
+		hd.Flags |= wire.FlagLatencySensitive
+	}
+	e.stack.Stats.LargeSent++
+	e.channelFor(dst).send(e.stack.newFrame(e.stack.MAC(), dst.MAC, hd, nil, 0), nil, nil)
 }
 
 func (e *Endpoint) shmSend(dst *Endpoint, match uint64, data []byte, size int, h *SendHandle) {
 	p := e.stack.p
 	cost := p.Lib.SendPost + p.Lib.CopyTime(size) + p.Lib.ShmLatency
-	e.core.SubmitUser(cost, func() {
-		e.stack.Stats.ShmSent++
-		h.complete()
-		dst.postEvent(&event{
-			kind: evEager, src: e.Addr(), match: match,
-			data: cloneData(data), size: size, writerCore: e.core.ID,
-		})
-	})
+	op := e.getOp()
+	op.local, op.match, op.data, op.size, op.h = dst, match, data, size, h
+	e.core.SubmitUserArg(cost, e.shmFn, op)
+}
+
+// shmPost delivers an intra-node message straight into the peer's ring.
+func (e *Endpoint) shmPost(op *sendOp) {
+	dst, match, data, size, h := op.local, op.match, op.data, op.size, op.h
+	e.putOp(op)
+	e.stack.Stats.ShmSent++
+	h.complete()
+	ev := dst.getEvent()
+	ev.kind = evEager
+	ev.src = e.Addr()
+	ev.match = match
+	ev.data = cloneData(data)
+	ev.size = size
+	ev.writerCore = e.core.ID
+	dst.postEvent(ev)
 }
 
 func (e *Endpoint) allocMsgID() uint32 {
@@ -412,10 +519,12 @@ func cloneData(d []byte) []byte {
 // ---- event ring & pickup (library side) ----
 
 // postEvent appends an event to the endpoint's shared ring and kicks the
-// library pickup chain. Returns false when the ring is full.
+// library pickup chain. Returns false when the ring is full. The ring takes
+// ownership of ev; it is recycled once the library applies it.
 func (e *Endpoint) postEvent(ev *event) bool {
 	if len(e.ring) >= e.stack.p.Proto.EventRingEntries {
 		e.stack.Stats.EventRingFull++
+		e.putEvent(ev)
 		return false
 	}
 	e.ring = append(e.ring, ev)
@@ -437,7 +546,7 @@ func (e *Endpoint) kickPickup() {
 		// The event ring's cache lines were last written by another core.
 		cost += e.stack.p.Host.CacheBounce
 	}
-	e.core.SubmitUser(cost, e.popOne)
+	e.core.SubmitUserArg(cost, e.popOneFn, nil)
 }
 
 func (e *Endpoint) popOne() {
@@ -447,6 +556,7 @@ func (e *Endpoint) popOne() {
 	}
 	ev := e.ring[0]
 	copy(e.ring, e.ring[1:])
+	e.ring[len(e.ring)-1] = nil
 	e.ring = e.ring[:len(e.ring)-1]
 
 	p := e.stack.p
@@ -481,10 +591,7 @@ func (e *Endpoint) popOne() {
 	case evPullDone, evNotifyRecvd:
 		cost += p.Lib.PerMessage
 	}
-	e.core.SubmitUser(cost, func() {
-		e.applyEvent(ev)
-		e.popOne()
-	})
+	e.core.SubmitUserArg(cost, e.applyFn, ev)
 }
 
 // peekMatch returns the first posted receive matching m without removing it.

@@ -108,7 +108,7 @@ func (e *Endpoint) issuePullRequest(ps *pullState, block int) {
 		hd.Flags |= wire.FlagLatencySensitive
 	}
 	e.stack.Stats.PullRequestsSent++
-	e.stack.sendFrame(wire.NewFrame(e.stack.MAC(), ps.src.MAC, hd, nil, 0))
+	e.stack.sendFrame(e.stack.newFrame(e.stack.MAC(), ps.src.MAC, hd, nil, 0))
 
 	if t, ok := ps.timers[block]; ok {
 		t.Cancel()
@@ -171,7 +171,7 @@ func (e *Endpoint) handlePullRequest(f *wire.Frame) {
 			data = ls.data[off : off+plen]
 		}
 		e.stack.Stats.PullRepliesSent++
-		e.stack.sendFrame(wire.NewFrame(e.stack.MAC(), src.MAC, rh, data, plen))
+		e.stack.sendFrame(e.stack.newFrame(e.stack.MAC(), src.MAC, rh, data, plen))
 	}
 }
 
@@ -230,9 +230,14 @@ func (e *Endpoint) handlePullReply(ps *pullState, f *wire.Frame, core *host.Core
 		if e.stack.Mark.Notify {
 			nh.Flags |= wire.FlagLatencySensitive
 		}
-		e.channelFor(ps.src).send(wire.NewFrame(e.stack.MAC(), ps.src.MAC, nh, nil, 0), nil)
+		e.channelFor(ps.src).send(e.stack.newFrame(e.stack.MAC(), ps.src.MAC, nh, nil, 0), nil, nil)
 
 		// Tell the application.
-		e.postEvent(&event{kind: evPullDone, src: ps.src, rh: ps.rh, writerCore: core.ID})
+		ev := e.getEvent()
+		ev.kind = evPullDone
+		ev.src = ps.src
+		ev.rh = ps.rh
+		ev.writerCore = core.ID
+		e.postEvent(ev)
 	}
 }

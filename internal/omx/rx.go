@@ -6,122 +6,48 @@ import (
 	"openmxsim/internal/wire"
 )
 
-// rxCostAndEffect computes the IRQ-context processing cost of a packet and
-// the protocol state transition to apply at its completion. The cost phase
-// only inspects state; the effect phase mutates it. Packets within one NAPI
-// poll are processed strictly in sequence, so peeking is race-free.
-func (e *Endpoint) rxCostAndEffect(f *wire.Frame, core *host.Core, cold bool) (sim.Time, func()) {
+// The receive handler is modelled in two phases so the IRQ-context cost can
+// be charged before the protocol state changes: rxCost computes the
+// per-packet processing cost (inspecting state only), and rxApply performs
+// the state transition at the cost's completion. Packets within one NAPI
+// poll are processed strictly in sequence, so peeking is race-free. The
+// pull-reply state captured by rxCost is carried to rxApply (via the
+// stack's pooled dispatch record) so both phases see the same transfer,
+// exactly as the former cost/effect closure pair did.
+
+// rxCost returns the IRQ-context processing cost of a packet and, for pull
+// replies, the transfer state the cost was computed against.
+func (e *Endpoint) rxCost(f *wire.Frame, cold bool) (sim.Time, *pullState) {
 	h := &f.Header
 	p := e.stack.p
-	src := Addr{MAC: f.Src, EP: h.SrcEP}
 	base := p.Host.RxHandlerPacket
 
 	switch h.Type {
-	case wire.TypeConnect:
-		return base + p.Driver.ConnectCost, func() {
-			c := e.channelFor(src)
-			c.lastRxCoreID = core.ID
-			reply := wire.Header{Type: wire.TypeConnectReply, SrcEP: e.ID, DstEP: src.EP}
-			e.stack.sendFrame(wire.NewFrame(e.stack.MAC(), src.MAC, reply, nil, 0))
-		}
+	case wire.TypeConnect, wire.TypeConnectReply:
+		return base + p.Driver.ConnectCost, nil
 
-	case wire.TypeConnectReply:
-		return base + p.Driver.ConnectCost, func() {
-			c := e.channelFor(src)
-			if c.connected {
-				return
-			}
-			c.connected = true
-			if c.connectTry != nil {
-				c.connectTry.Cancel()
-				c.connectTry = nil
-			}
-			cbs := c.connectCbs
-			c.connectCbs = nil
-			for _, cb := range cbs {
-				cb()
-			}
-		}
-
-	case wire.TypeAck:
-		return base + p.Driver.AckCost, func() {
-			e.channelFor(src).onAck(h.Aux)
-		}
-
-	case wire.TypeNack:
-		return base + p.Driver.AckCost, func() {
-			e.channelFor(src).retransmit()
-		}
+	case wire.TypeAck, wire.TypeNack:
+		return base + p.Driver.AckCost, nil
 
 	case wire.TypeTiny, wire.TypeSmall:
-		cost := base + p.Driver.RxEager + e.stack.rxCopyTime(f.PayloadLen, cold) + p.Driver.EventWrite
-		return cost, func() {
-			c := e.channelFor(src)
-			c.lastRxCoreID = core.ID
-			if !e.ringHasSpace() {
-				// Do not ack: the sender will retransmit once the
-				// application drains the ring.
-				e.stack.Stats.EventRingFull++
-				return
-			}
-			if !c.acceptSeq(h.Seq) {
-				return
-			}
-			e.stack.Stats.SmallRecvd++
-			e.postEvent(&event{
-				kind: evEager, src: src, match: h.Match, ch: c, ackSeq: c.recvNext,
-				data: clonePayload(f), size: int(h.Aux), writerCore: core.ID,
-			})
-		}
+		return base + p.Driver.RxEager + e.stack.rxCopyTime(f.PayloadLen, cold) + p.Driver.EventWrite, nil
 
 	case wire.TypeMediumFrag:
-		// Each fragment is copied into the ring and delivered as its own
-		// event; the library reassembles in user space, like Open-MX.
-		c := e.channelFor(src)
-		cost := base + p.Driver.RxEager + e.stack.rxCopyTime(f.PayloadLen, cold) + p.Driver.EventWrite
-		return cost, func() {
-			c.lastRxCoreID = core.ID
-			if !e.ringHasSpace() {
-				e.stack.Stats.EventRingFull++
-				return
-			}
-			if !c.acceptSeq(h.Seq) {
-				return
-			}
-			e.postEvent(&event{
-				kind: evMediumFrag, src: src, match: h.Match, ch: c, ackSeq: c.recvNext,
-				data: clonePayload(f), size: int(h.Aux), msgID: h.MsgID,
-				fragIdx: int(h.FragIndex), fragCount: int(h.FragCount),
-				writerCore: core.ID,
-			})
-		}
+		// Touch the channel in the cost phase, as the effect will.
+		src := Addr{MAC: f.Src, EP: h.SrcEP}
+		e.channelFor(src)
+		return base + p.Driver.RxEager + e.stack.rxCopyTime(f.PayloadLen, cold) + p.Driver.EventWrite, nil
 
-	case wire.TypeRendezvous:
-		return base + p.Driver.RxEager + p.Driver.EventWrite, func() {
-			c := e.channelFor(src)
-			c.lastRxCoreID = core.ID
-			if !e.ringHasSpace() {
-				e.stack.Stats.EventRingFull++
-				return
-			}
-			if !c.acceptSeq(h.Seq) {
-				return
-			}
-			e.postEvent(&event{
-				kind: evRendezvous, src: src, match: h.Match, ch: c, ackSeq: c.recvNext,
-				size: int(h.Aux), msgID: h.MsgID, writerCore: core.ID,
-			})
-		}
+	case wire.TypeRendezvous, wire.TypeNotify:
+		return base + p.Driver.RxEager + p.Driver.EventWrite, nil
 
 	case wire.TypePullRequest:
 		// The sender's driver answers pull requests straight from the
 		// receive handler: one block of replies per request.
-		cost := base + p.Driver.RxPull + sim.Time(h.FragCount)*p.Driver.TxPacket
-		return cost, func() {
-			e.handlePullRequest(f)
-		}
+		return base + p.Driver.RxPull + sim.Time(h.FragCount)*p.Driver.TxPacket, nil
 
 	case wire.TypePullReply:
+		src := Addr{MAC: f.Src, EP: h.SrcEP}
 		ps := e.pulls[pullKey{src: src, msgID: h.MsgID}]
 		cost := base + p.Driver.RxPull + e.stack.pullCopyTime(f.PayloadLen, cold)
 		frag := int(h.FragIndex)
@@ -134,28 +60,146 @@ func (e *Endpoint) rxCostAndEffect(f *wire.Frame, core *host.Core, cold bool) (s
 				cost += p.Driver.EventWrite + p.Driver.TxPacket // notify
 			}
 		}
-		return cost, func() {
-			e.handlePullReply(ps, f, core)
-		}
-
-	case wire.TypeNotify:
-		return base + p.Driver.RxEager + p.Driver.EventWrite, func() {
-			c := e.channelFor(src)
-			c.lastRxCoreID = core.ID
-			if !e.ringHasSpace() {
-				e.stack.Stats.EventRingFull++
-				return
-			}
-			if !c.acceptSeq(h.Seq) {
-				return
-			}
-			e.postEvent(&event{kind: evNotifyRecvd, src: src, msgID: h.MsgID, ch: c, ackSeq: c.recvNext, writerCore: core.ID})
-		}
+		return cost, ps
 
 	default:
-		return p.Host.RxDropPacket, func() {
-			e.stack.Stats.InvalidDropped++
+		return p.Host.RxDropPacket, nil
+	}
+}
+
+// rxApply performs the protocol state transition for a packet whose receive
+// cost has been charged. ps is the pull state captured by rxCost.
+func (e *Endpoint) rxApply(f *wire.Frame, core *host.Core, ps *pullState) {
+	h := &f.Header
+	src := Addr{MAC: f.Src, EP: h.SrcEP}
+
+	switch h.Type {
+	case wire.TypeConnect:
+		c := e.channelFor(src)
+		c.lastRxCoreID = core.ID
+		reply := wire.Header{Type: wire.TypeConnectReply, SrcEP: e.ID, DstEP: src.EP}
+		e.stack.sendFrame(e.stack.newFrame(e.stack.MAC(), src.MAC, reply, nil, 0))
+
+	case wire.TypeConnectReply:
+		c := e.channelFor(src)
+		if c.connected {
+			return
 		}
+		c.connected = true
+		if c.connectTry != nil {
+			c.connectTry.Cancel()
+			c.connectTry = nil
+		}
+		cbs := c.connectCbs
+		c.connectCbs = nil
+		for _, cb := range cbs {
+			cb()
+		}
+
+	case wire.TypeAck:
+		e.channelFor(src).onAck(h.Aux)
+
+	case wire.TypeNack:
+		e.channelFor(src).retransmit()
+
+	case wire.TypeTiny, wire.TypeSmall:
+		c := e.channelFor(src)
+		c.lastRxCoreID = core.ID
+		if !e.ringHasSpace() {
+			// Do not ack: the sender will retransmit once the
+			// application drains the ring.
+			e.stack.Stats.EventRingFull++
+			return
+		}
+		if !c.acceptSeq(h.Seq) {
+			return
+		}
+		e.stack.Stats.SmallRecvd++
+		ev := e.getEvent()
+		ev.kind = evEager
+		ev.src = src
+		ev.match = h.Match
+		ev.ch = c
+		ev.ackSeq = c.recvNext
+		ev.data = clonePayload(f)
+		ev.size = int(h.Aux)
+		ev.writerCore = core.ID
+		e.postEvent(ev)
+
+	case wire.TypeMediumFrag:
+		// Each fragment is copied into the ring and delivered as its own
+		// event; the library reassembles in user space, like Open-MX.
+		c := e.channelFor(src)
+		c.lastRxCoreID = core.ID
+		if !e.ringHasSpace() {
+			e.stack.Stats.EventRingFull++
+			return
+		}
+		if !c.acceptSeq(h.Seq) {
+			return
+		}
+		ev := e.getEvent()
+		ev.kind = evMediumFrag
+		ev.src = src
+		ev.match = h.Match
+		ev.ch = c
+		ev.ackSeq = c.recvNext
+		ev.data = clonePayload(f)
+		ev.size = int(h.Aux)
+		ev.msgID = h.MsgID
+		ev.fragIdx = int(h.FragIndex)
+		ev.fragCount = int(h.FragCount)
+		ev.writerCore = core.ID
+		e.postEvent(ev)
+
+	case wire.TypeRendezvous:
+		c := e.channelFor(src)
+		c.lastRxCoreID = core.ID
+		if !e.ringHasSpace() {
+			e.stack.Stats.EventRingFull++
+			return
+		}
+		if !c.acceptSeq(h.Seq) {
+			return
+		}
+		ev := e.getEvent()
+		ev.kind = evRendezvous
+		ev.src = src
+		ev.match = h.Match
+		ev.ch = c
+		ev.ackSeq = c.recvNext
+		ev.size = int(h.Aux)
+		ev.msgID = h.MsgID
+		ev.writerCore = core.ID
+		e.postEvent(ev)
+
+	case wire.TypePullRequest:
+		e.handlePullRequest(f)
+
+	case wire.TypePullReply:
+		e.handlePullReply(ps, f, core)
+
+	case wire.TypeNotify:
+		c := e.channelFor(src)
+		c.lastRxCoreID = core.ID
+		if !e.ringHasSpace() {
+			e.stack.Stats.EventRingFull++
+			return
+		}
+		if !c.acceptSeq(h.Seq) {
+			return
+		}
+		ev := e.getEvent()
+		ev.kind = evNotifyRecvd
+		ev.src = src
+		ev.msgID = h.MsgID
+		ev.ch = c
+		ev.ackSeq = c.recvNext
+		ev.writerCore = core.ID
+		e.postEvent(ev)
+
+	default:
+		e.stack.Stats.InvalidDropped++
 	}
 }
 

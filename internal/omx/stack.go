@@ -72,6 +72,12 @@ type Stats struct {
 }
 
 // Stack is the per-node Open-MX driver instance bound to one NIC.
+//
+// The stack's hot paths recycle everything per-packet: frames come from a
+// pool (its own by default, a cluster-shared one via SetFramePool),
+// reliable-channel tx records and receive-dispatch records sit on per-stack
+// free lists, and the dispatch/ack callbacks are bound once here, so a
+// steady-state packet allocates nothing on send or receive.
 type Stack struct {
 	eng  *sim.Engine
 	p    *params.Params
@@ -85,7 +91,36 @@ type Stack struct {
 	// costs a cache-line bounce on the shared descriptors (Section III-B).
 	lastRxCore int
 
+	pool      *wire.Pool
+	txFree    []*txPacket
+	rxFree    []*rxDispatch
+	pacedFree []*pacedSend
+
+	rxEffectFn   func(any)
+	invalidFn    func(any)
+	noEndpointFn func(any)
+	sendFrameFn  func(any)
+	pacedFn      func(any)
+
 	Stats Stats
+}
+
+// rxDispatch carries one packet from the cost phase to the effect phase of
+// the receive handler (see rx.go).
+type rxDispatch struct {
+	ep   *Endpoint
+	f    *wire.Frame
+	core *host.Core
+	ps   *pullState
+	done func()
+}
+
+// pacedSend is a deferred channel.send of one paced medium fragment.
+type pacedSend struct {
+	ch  *channel
+	f   *wire.Frame
+	fn  func(any)
+	arg any
 }
 
 // NewStack creates the driver for one node and installs it as the NIC's
@@ -100,9 +135,94 @@ func NewStack(eng *sim.Engine, p *params.Params, hst *host.Host, n *nic.NIC, rng
 		Mark:       DefaultMarkPolicy(),
 		endpoints:  make(map[uint8]*Endpoint),
 		lastRxCore: -1,
+		pool:       wire.NewPool(),
+	}
+	s.rxEffectFn = func(x any) {
+		d := x.(*rxDispatch)
+		ep, f, core, ps, done := d.ep, d.f, d.core, d.ps, d.done
+		d.ep, d.f, d.core, d.ps, d.done = nil, nil, nil, nil, nil
+		s.rxFree = append(s.rxFree, d)
+		ep.rxApply(f, core, ps)
+		done()
+	}
+	s.invalidFn = func(x any) {
+		s.Stats.InvalidDropped++
+		x.(func())()
+	}
+	s.noEndpointFn = func(x any) {
+		s.Stats.NoEndpointDrop++
+		x.(func())()
+	}
+	s.sendFrameFn = func(x any) { s.sendFrame(x.(*wire.Frame)) }
+	s.pacedFn = func(x any) {
+		p := x.(*pacedSend)
+		ch, f, fn, arg := p.ch, p.f, p.fn, p.arg
+		p.ch, p.f, p.fn, p.arg = nil, nil, nil, nil
+		s.pacedFree = append(s.pacedFree, p)
+		ch.send(f, fn, arg)
 	}
 	n.SetDriver(s)
 	return s
+}
+
+// SetFramePool replaces the stack's frame pool (cluster construction shares
+// one pool across all nodes so frames recycle wherever they are released).
+func (s *Stack) SetFramePool(p *wire.Pool) { s.pool = p }
+
+// newFrame builds a pooled frame; the caller owns its single reference.
+func (s *Stack) newFrame(src, dst wire.MAC, h wire.Header, payload []byte, payloadLen int) *wire.Frame {
+	return s.pool.Get(src, dst, h, payload, payloadLen)
+}
+
+func (s *Stack) getTx(f *wire.Frame, seq uint32, fn func(any), arg any) *txPacket {
+	var pk *txPacket
+	if n := len(s.txFree); n > 0 {
+		pk = s.txFree[n-1]
+		s.txFree[n-1] = nil
+		s.txFree = s.txFree[:n-1]
+	} else {
+		pk = &txPacket{}
+	}
+	pk.frame = f
+	pk.seq = seq
+	pk.fn = fn
+	pk.arg = arg
+	return pk
+}
+
+func (s *Stack) putTx(pk *txPacket) {
+	pk.frame = nil
+	pk.fn = nil
+	pk.arg = nil
+	s.txFree = append(s.txFree, pk)
+}
+
+func (s *Stack) getRxDispatch(ep *Endpoint, f *wire.Frame, core *host.Core, ps *pullState, done func()) *rxDispatch {
+	var d *rxDispatch
+	if n := len(s.rxFree); n > 0 {
+		d = s.rxFree[n-1]
+		s.rxFree[n-1] = nil
+		s.rxFree = s.rxFree[:n-1]
+	} else {
+		d = &rxDispatch{}
+	}
+	d.ep, d.f, d.core, d.ps, d.done = ep, f, core, ps, done
+	return d
+}
+
+// schedulePaced queues ch.send(f, fn, arg) at virtual time at without
+// allocating a closure per fragment.
+func (s *Stack) schedulePaced(at sim.Time, ch *channel, f *wire.Frame, fn func(any), arg any) {
+	var p *pacedSend
+	if n := len(s.pacedFree); n > 0 {
+		p = s.pacedFree[n-1]
+		s.pacedFree[n-1] = nil
+		s.pacedFree = s.pacedFree[:n-1]
+	} else {
+		p = &pacedSend{}
+	}
+	p.ch, p.f, p.fn, p.arg = ch, f, fn, arg
+	s.eng.ScheduleArg(at, s.pacedFn, p)
 }
 
 // NIC returns the interface this stack drives.
@@ -151,28 +271,19 @@ func (s *Stack) Process(d *nic.RxDesc, core *host.Core, done func()) {
 	if h.Validate() != nil || h.Type == wire.TypeInvalid {
 		// The overhead microbenchmark path: dropped by the receive handler
 		// before any protocol work.
-		core.SubmitIRQ(s.p.Host.RxDropPacket+bounce, false, func() {
-			s.Stats.InvalidDropped++
-			done()
-		})
+		core.SubmitIRQArg(s.p.Host.RxDropPacket+bounce, false, s.invalidFn, done)
 		return
 	}
 
 	s.Stats.PacketsIn++
 	ep, ok := s.endpoints[h.DstEP]
 	if !ok {
-		core.SubmitIRQ(s.p.Host.RxDropPacket+bounce, false, func() {
-			s.Stats.NoEndpointDrop++
-			done()
-		})
+		core.SubmitIRQArg(s.p.Host.RxDropPacket+bounce, false, s.noEndpointFn, done)
 		return
 	}
 
-	cost, effect := ep.rxCostAndEffect(f, core, cold)
-	core.SubmitIRQ(cost+bounce, false, func() {
-		effect()
-		done()
-	})
+	cost, ps := ep.rxCost(f, cold)
+	core.SubmitIRQArg(cost+bounce, false, s.rxEffectFn, s.getRxDispatch(ep, f, core, ps, done))
 }
 
 // rxCopyTime is the kernel copy cost for received eager payload into the

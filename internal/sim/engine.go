@@ -5,10 +5,31 @@
 // every simulation bit-reproducible for a given seed regardless of host
 // scheduling or garbage collection — the property that lets this repository
 // measure sub-microsecond interrupt effects from Go.
+//
+// # Event ownership and recycling
+//
+// The engine owns every *Event it returns and recycles fired or cancelled
+// events through an internal free list, so steady-state scheduling performs
+// no allocation. That gives event handles arena semantics:
+//
+//   - A handle returned by Schedule/After is valid until its callback starts
+//     (or, for cancelled events, until the engine discards them in Step or
+//     peek). After that the Event may be reused for a different callback.
+//   - Cancel must therefore only be called on events that have not fired.
+//     Callers that retain a timer handle must clear it inside the callback
+//     (first thing), which every subsystem in this repository does; a Cancel
+//     through a stale handle would cancel whatever event now occupies the
+//     slot.
+//   - Callbacks never receive the firing *Event, so the common pattern
+//     "timer = nil at the top of the callback" is all that is required.
+//
+// The heap is an inlined 4-ary min-heap specialized to *Event: no
+// container/heap interface calls, no any-boxing, and cache-friendlier sift
+// paths than a binary heap for the pop-heavy workload of a packet-per-event
+// simulation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -25,12 +46,14 @@ const (
 
 // Event is a scheduled callback. It is returned by the scheduling methods so
 // callers can cancel it (e.g. a coalescing timer that is reset when the
-// interrupt fires early).
+// interrupt fires early). See the package comment for the handle lifetime
+// rules: an Event is recycled once it fires or its cancellation is observed.
 type Event struct {
 	at        Time
 	seq       uint64
 	fn        func()
-	index     int // heap index, -1 once popped
+	afn       func(any)
+	arg       any
 	cancelled bool
 }
 
@@ -41,14 +64,17 @@ func (ev *Event) At() Time { return ev.at }
 func (ev *Event) Cancelled() bool { return ev.cancelled }
 
 // Cancel prevents the event's callback from running. Cancelling an event that
-// already fired or was already cancelled is a no-op.
+// was already cancelled is a no-op. Cancel must not be called on an event
+// whose callback has already started: the engine may have recycled it (see
+// the package comment).
 func (ev *Event) Cancel() { ev.cancelled = true }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; the process layer (internal/proc) serializes all access.
 type Engine struct {
 	now     Time
-	queue   eventHeap
+	heap    []*Event
+	free    []*Event
 	seq     uint64
 	stopped bool
 	// Executed counts callbacks run, for diagnostics and budget guards.
@@ -68,7 +94,34 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events still scheduled (including cancelled
 // events that have not yet been discarded).
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// alloc takes an Event from the free list (or the Go heap when empty),
+// stamps it, and pushes it onto the queue.
+func (e *Engine) alloc(at Time) *Event {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = at
+	ev.seq = e.seq
+	ev.cancelled = false
+	e.seq++
+	return ev
+}
+
+// release recycles a fired or discarded event. Callback references are
+// cleared so the free list never pins driver state for the GC.
+func (e *Engine) release(ev *Event) {
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	e.free = append(e.free, ev)
+}
 
 // Schedule runs fn at virtual time at. Scheduling in the past panics: it is
 // always a model bug.
@@ -76,9 +129,24 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev := e.alloc(at)
+	ev.fn = fn
+	e.push(ev)
+	return ev
+}
+
+// ScheduleArg runs fn(arg) at virtual time at. It is the allocation-free
+// variant of Schedule for hot paths: a long-lived fn (bound once at
+// subsystem construction) plus a pointer-typed arg schedule without any
+// per-call closure or boxing allocation.
+func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	ev := e.alloc(at)
+	ev.afn = fn
+	ev.arg = arg
+	e.push(ev)
 	return ev
 }
 
@@ -90,12 +158,21 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.Schedule(e.now+d, fn)
 }
 
+// AfterArg runs fn(arg) d nanoseconds from now. Negative d panics.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.ScheduleArg(e.now+d, fn, arg)
+}
+
 // Step runs the next event, if any, advancing the clock to it. It reports
 // whether an event ran.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+	for len(e.heap) > 0 {
+		ev := e.pop()
 		if ev.cancelled {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
@@ -103,7 +180,15 @@ func (e *Engine) Step() bool {
 		if e.Limit > 0 && e.Executed > e.Limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.Limit, e.now))
 		}
-		ev.fn()
+		fn, afn, arg := ev.fn, ev.afn, ev.arg
+		if fn != nil {
+			fn()
+		} else {
+			afn(arg)
+		}
+		// Recycle only after the callback: handles held by driver state are
+		// cleared inside the callback itself, so reuse cannot race them.
+		e.release(ev)
 		return true
 	}
 	return false
@@ -121,7 +206,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.queue.peek()
+		ev := e.peek()
 		if ev == nil || ev.at > t {
 			break
 		}
@@ -135,48 +220,86 @@ func (e *Engine) RunUntil(t Time) {
 // Stop makes the innermost Run/RunUntil return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
 
-// eventHeap orders events by (time, sequence), giving FIFO order at equal
-// timestamps.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// peek returns the next live event without running it. Cancelled heads are
+// popped and recycled here: returning one would hand RunUntil a timestamp
+// that never fires and terminate it early.
+func (e *Engine) peek() *Event {
+	for len(e.heap) > 0 && e.heap[0].cancelled {
+		e.release(e.pop())
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-func (h eventHeap) peek() *Event {
-	// Skip cancelled heads lazily: the heap root is the only cheap peek.
-	for len(h) > 0 && h[0].cancelled {
-		return h[0] // caller Steps; Step discards cancelled events
-	}
-	if len(h) == 0 {
+	if len(e.heap) == 0 {
 		return nil
 	}
-	return h[0]
+	return e.heap[0]
+}
+
+// The queue is a 4-ary min-heap ordered by (time, sequence), giving FIFO
+// order at equal timestamps. Methods are specialized to *Event so Push/Pop
+// compile to direct slice operations with no interface dispatch.
+
+// before reports strict heap order between two events. (at, seq) pairs are
+// unique, so the order is total and the heap minimum is deterministic.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	i := len(e.heap)
+	e.heap = append(e.heap, ev)
+	for i > 0 {
+		p := (i - 1) >> 2
+		pe := e.heap[p]
+		if before(pe, ev) {
+			break
+		}
+		e.heap[i] = pe
+		i = p
+	}
+	e.heap[i] = ev
+}
+
+func (e *Engine) pop() *Event {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places ev, displaced from the root by a pop, back into heap
+// position.
+func (e *Engine) siftDown(ev *Event) {
+	h := e.heap
+	n := len(h)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m, me := c, h[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if je := h[j]; before(je, me) {
+				m, me = j, je
+			}
+		}
+		if before(ev, me) {
+			break
+		}
+		h[i] = me
+		i = m
+	}
+	h[i] = ev
 }

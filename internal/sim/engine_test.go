@@ -231,3 +231,118 @@ func BenchmarkEngineScheduleStep(b *testing.B) {
 	for e.Step() {
 	}
 }
+
+// Regression test for the RunUntil/peek cancelled-head bug: a cancelled
+// event at the heap root used to be returned by peek, pass the "<= t" gate,
+// and make Step run the next live event even when that event lay beyond the
+// horizon — overshooting RunUntil.
+func TestRunUntilCancelledHeadDoesNotOvershoot(t *testing.T) {
+	e := NewEngine()
+	cancelled := e.After(50, func() { t.Error("cancelled event ran") })
+	cancelled.Cancel()
+	ran := false
+	e.After(150, func() { ran = true })
+	e.RunUntil(100)
+	if ran {
+		t.Fatal("RunUntil(100) ran an event scheduled at t=150")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d after RunUntil(100), want 100", e.Now())
+	}
+	e.RunUntil(200)
+	if !ran {
+		t.Fatal("event at t=150 never ran")
+	}
+}
+
+// A cancelled-only queue must leave RunUntil at exactly t.
+func TestRunUntilAllCancelled(t *testing.T) {
+	e := NewEngine()
+	for i := Time(1); i <= 5; i++ {
+		e.After(i*10, func() { t.Error("cancelled event ran") }).Cancel()
+	}
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0 (cancelled heads discarded)", e.Pending())
+	}
+}
+
+func TestScheduleArgDelivers(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	fn := func(x any) { got = append(got, *x.(*int)) }
+	a, b := 1, 2
+	e.ScheduleArg(20, fn, &b)
+	e.AfterArg(10, fn, &a)
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+// FIFO order must hold across the Schedule and ScheduleArg variants.
+func TestScheduleArgFIFOWithSchedule(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	afn := func(x any) { order = append(order, x.(int)) }
+	e.Schedule(5, func() { order = append(order, 0) })
+	e.ScheduleArg(5, afn, 1)
+	e.Schedule(5, func() { order = append(order, 2) })
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("mixed-variant events ran out of order: %v", order)
+		}
+	}
+}
+
+// The recycle path must be allocation-free in steady state: once the free
+// list is warm, Schedule+Step performs zero heap allocations. This is the
+// tentpole guarantee of the zero-allocation hot path PR; future changes that
+// reintroduce per-event garbage fail here.
+func TestScheduleStepZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	var arg int
+	afn := func(any) {}
+	for i := 0; i < 64; i++ { // warm the free list and heap capacity
+		e.After(Time(i), fn)
+	}
+	for e.Step() {
+	}
+	if got := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	}); got != 0 {
+		t.Fatalf("Schedule+Step allocates %v objects/op in steady state, want 0", got)
+	}
+	if got := testing.AllocsPerRun(1000, func() {
+		e.AfterArg(1, afn, &arg)
+		e.Step()
+	}); got != 0 {
+		t.Fatalf("ScheduleArg+Step allocates %v objects/op in steady state, want 0", got)
+	}
+}
+
+// Cancelled events must be recycled, not leaked, whether discarded by Step
+// or by peek.
+func TestCancelledEventsRecycleAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), fn)
+	}
+	for e.Step() {
+	}
+	if got := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn).Cancel()
+		e.After(2, fn)
+		e.Step()
+		e.Step()
+	}); got != 0 {
+		t.Fatalf("cancel+discard allocates %v objects/op in steady state, want 0", got)
+	}
+}

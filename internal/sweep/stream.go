@@ -53,13 +53,14 @@ func RunStream(spec StreamSpec) StreamResult {
 	rcv := cl.Stacks[1].Open(0, cl.Hosts[1].Cores[1])
 
 	received := 0
-	var repost func()
-	repost = func() {
-		rcv.Irecv(0, 0, nil, spec.Size, func(*omx.RecvHandle) {
-			received++
-			repost()
-		})
+	// One completion closure reposts itself, so the steady-state receive
+	// loop allocates only the handle Irecv returns.
+	var onRecv func(*omx.RecvHandle)
+	onRecv = func(*omx.RecvHandle) {
+		received++
+		rcv.Irecv(0, 0, nil, spec.Size, onRecv)
 	}
+	repost := func() { rcv.Irecv(0, 0, nil, spec.Size, onRecv) }
 	dst := rcv.Addr()
 	var chain func()
 	chain = func() { snd.Isend(dst, 1, nil, spec.Size, chain) }

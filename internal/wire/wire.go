@@ -9,6 +9,31 @@
 // connection management. The one addition over stock MXoE is the
 // latency-sensitive marker flag set by the sender driver, which is the
 // paper's contribution (Section III-B).
+//
+// # Frame ownership and recycling
+//
+// Frames on the simulated wire are reference-counted and recycled through a
+// per-cluster Pool so the per-packet hot path allocates nothing in steady
+// state. The ownership rules are:
+//
+//   - Pool.Get returns a frame holding one reference, owned by the creator.
+//   - Handing a frame to the wire (stack -> NIC -> fabric -> receiving NIC)
+//     transfers that reference; whoever drops the frame (fabric fault
+//     injection, a full receive ring) or finishes processing it (the
+//     receive handler, after the protocol effect ran) calls Release.
+//   - A holder that needs the frame beyond the transfer it initiated — the
+//     reliable channel retaining packets for retransmission, fabric
+//     duplicate delivery — takes an extra reference with Ref and Releases
+//     it when done.
+//   - Release returns the frame to the pool it came from when the count
+//     reaches zero, so cross-node flows are safe regardless of which node
+//     releases last.
+//
+// Frames built with NewFrame (tests, callers outside a cluster) have no
+// pool; Ref/Release on them are no-ops and the GC reclaims them as usual.
+// Frame payloads alias the sender's buffer (frames never own payload
+// memory), which is also why size-only simulation carries PayloadLen with a
+// nil Payload.
 package wire
 
 import (
@@ -199,11 +224,85 @@ func NodeMAC(i int) MAC {
 // Frame is one Ethernet frame in flight. Payload may be nil for size-only
 // simulation (large benchmark runs), in which case PayloadLen carries the
 // logical size; when Payload is non-nil the two agree.
+//
+// Frames obtained from a Pool are reference-counted; see the package
+// comment for the ownership rules.
 type Frame struct {
 	Src, Dst   MAC
 	Header     Header
 	Payload    []byte
 	PayloadLen int
+
+	pool *Pool
+	refs int32
+}
+
+// Ref takes an additional reference on a pooled frame. It is a no-op for
+// frames built outside a pool.
+func (f *Frame) Ref() {
+	if f.pool != nil {
+		f.refs++
+	}
+}
+
+// Release drops one reference; the last release returns the frame to its
+// pool. Releasing a frame built outside a pool is a no-op, so protocol code
+// may release unconditionally.
+func (f *Frame) Release() {
+	if f.pool == nil {
+		return
+	}
+	f.refs--
+	if f.refs > 0 {
+		return
+	}
+	if f.refs < 0 {
+		panic("wire: frame released more times than referenced")
+	}
+	f.Payload = nil // never pin sender buffers from the free list
+	f.pool.free = append(f.pool.free, f)
+}
+
+// Pool is a frame free list. Each cluster owns one, shared by every stack,
+// NIC, and the switch, so a frame allocated on the sending node is recycled
+// when the receiving node releases it. Pools are not safe for concurrent
+// use; the single-threaded engine of each cluster serializes access, and
+// concurrent sweeps use one pool per cluster.
+type Pool struct {
+	free []*Frame
+}
+
+// NewPool returns an empty frame pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a frame initialized exactly like NewFrame, holding one
+// reference, recycling a free frame when available.
+func (p *Pool) Get(src, dst MAC, h Header, payload []byte, payloadLen int) *Frame {
+	var f *Frame
+	if n := len(p.free); n > 0 {
+		f = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		f = &Frame{pool: p}
+	}
+	if payload != nil {
+		payloadLen = len(payload)
+	}
+	h.Version = Version
+	h.Length = uint16(payloadLen)
+	f.Src, f.Dst = src, dst
+	f.Header = h
+	f.Payload = payload
+	f.PayloadLen = payloadLen
+	f.refs = 1
+	return f
+}
+
+// Clone returns a pooled copy of f holding one reference (used by
+// retransmission, which keeps the original retained while a copy travels).
+func (p *Pool) Clone(f *Frame) *Frame {
+	return p.Get(f.Src, f.Dst, f.Header, f.Payload, f.PayloadLen)
 }
 
 // NewFrame builds a frame and keeps Length/PayloadLen consistent.
@@ -245,8 +344,27 @@ func EncodeFrame(f *Frame) []byte {
 	return buf
 }
 
-// DecodeFrame parses bytes produced by EncodeFrame.
+// DecodeFrame parses bytes produced by EncodeFrame. The returned frame's
+// payload is an independent copy of buf, so the caller may reuse buf freely;
+// receive paths that control the buffer lifetime should prefer
+// DecodeFrameNoCopy.
 func DecodeFrame(buf []byte) (*Frame, error) {
+	f, err := DecodeFrameNoCopy(buf)
+	if err != nil {
+		return nil, err
+	}
+	if f.PayloadLen > 0 {
+		f.Payload = append([]byte(nil), f.Payload...)
+	}
+	return f, nil
+}
+
+// DecodeFrameNoCopy parses bytes produced by EncodeFrame without copying the
+// payload: the returned frame's Payload aliases buf. The frame is only valid
+// while buf is neither reused nor mutated — the zero-copy contract of a real
+// driver processing a DMA ring slot in place. Callers that hand the frame
+// beyond the buffer's lifetime must copy first (or use DecodeFrame).
+func DecodeFrameNoCopy(buf []byte) (*Frame, error) {
 	if len(buf) < EthernetHeaderLen+HeaderLen {
 		return nil, ErrShortBuffer
 	}
@@ -265,7 +383,7 @@ func DecodeFrame(buf []byte) (*Frame, error) {
 		return nil, fmt.Errorf("wire: truncated payload: have %d want %d", len(rest), f.PayloadLen)
 	}
 	if f.PayloadLen > 0 {
-		f.Payload = append([]byte(nil), rest[:f.PayloadLen]...)
+		f.Payload = rest[:f.PayloadLen:f.PayloadLen]
 	}
 	return f, nil
 }

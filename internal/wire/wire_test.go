@@ -195,3 +195,106 @@ func TestDecodeFrameErrors(t *testing.T) {
 		t.Error("truncated payload accepted")
 	}
 }
+
+func TestDecodeFrameNoCopyAliases(t *testing.T) {
+	h := Header{Type: TypeSmall, SrcEP: 1, DstEP: 2, Match: 42}
+	payload := []byte("hello wire")
+	buf := EncodeFrame(NewFrame(NodeMAC(0), NodeMAC(1), h, payload, 0))
+
+	zc, err := DecodeFrameNoCopy(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(zc.Payload) != "hello wire" {
+		t.Fatalf("zero-copy payload = %q", zc.Payload)
+	}
+	// The zero-copy payload must alias the input buffer...
+	buf[EthernetHeaderLen+HeaderLen] = 'H'
+	if string(zc.Payload) != "Hello wire" {
+		t.Fatal("DecodeFrameNoCopy copied the payload")
+	}
+	// ...while the copying variant must stay independent.
+	cp, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[EthernetHeaderLen+HeaderLen] = 'J'
+	if string(cp.Payload) != "Hello wire" {
+		t.Fatal("DecodeFrame aliased the input buffer")
+	}
+}
+
+func TestPoolRecyclesFrames(t *testing.T) {
+	p := NewPool()
+	h := Header{Type: TypeSmall}
+	f := p.Get(NodeMAC(0), NodeMAC(1), h, []byte("abc"), 0)
+	if f.PayloadLen != 3 || f.Header.Length != 3 || f.Header.Version != Version {
+		t.Fatalf("Get did not normalize frame: %+v", f)
+	}
+	f.Release()
+	g := p.Get(NodeMAC(2), NodeMAC(3), Header{Type: TypeAck}, nil, 0)
+	if g != f {
+		t.Fatal("pool did not recycle the released frame")
+	}
+	if g.Payload != nil || g.PayloadLen != 0 || g.Header.Type != TypeAck {
+		t.Fatalf("recycled frame not reset: %+v", g)
+	}
+	if g.Src != NodeMAC(2) || g.Dst != NodeMAC(3) {
+		t.Fatalf("recycled frame kept stale addresses: %v -> %v", g.Src, g.Dst)
+	}
+}
+
+func TestPoolRefCounting(t *testing.T) {
+	p := NewPool()
+	f := p.Get(NodeMAC(0), NodeMAC(1), Header{Type: TypeSmall}, nil, 8)
+	f.Ref() // second holder (e.g. retransmit retention)
+	f.Release()
+	if g := p.Get(NodeMAC(0), NodeMAC(1), Header{Type: TypeSmall}, nil, 0); g == f {
+		t.Fatal("frame returned to pool while still referenced")
+	}
+	f.Release()
+	// Now it must be recyclable.
+	seen := false
+	for i := 0; i < 4; i++ {
+		if p.Get(NodeMAC(0), NodeMAC(1), Header{Type: TypeSmall}, nil, 0) == f {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("frame never recycled after final release")
+	}
+}
+
+func TestUnpooledFrameRefReleaseNoOp(t *testing.T) {
+	f := NewFrame(NodeMAC(0), NodeMAC(1), Header{Type: TypeSmall}, nil, 4)
+	f.Release()
+	f.Release() // must not panic without a pool
+	f.Ref()
+}
+
+func TestPoolOverReleasePanics(t *testing.T) {
+	p := NewPool()
+	f := p.Get(NodeMAC(0), NodeMAC(1), Header{Type: TypeSmall}, nil, 0)
+	f.Release()
+	// Re-acquire so refs is 1 again, then over-release.
+	f = p.Get(NodeMAC(0), NodeMAC(1), Header{Type: TypeSmall}, nil, 0)
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	f.Release()
+}
+
+// Steady-state frame round trips through the pool must not allocate.
+func TestPoolZeroAllocSteadyState(t *testing.T) {
+	p := NewPool()
+	h := Header{Type: TypeSmall}
+	if got := testing.AllocsPerRun(1000, func() {
+		f := p.Get(NodeMAC(0), NodeMAC(1), h, nil, 64)
+		f.Release()
+	}); got != 0 {
+		t.Fatalf("pooled Get+Release allocates %v objects/op, want 0", got)
+	}
+}
