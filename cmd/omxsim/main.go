@@ -1,11 +1,14 @@
 // Command omxsim runs a single custom scenario: a workload (pingpong, rate,
-// or a NAS benchmark) under a chosen coalescing strategy and host
-// configuration, printing the measurements and interrupt statistics.
+// incast, or a NAS benchmark) under a chosen coalescing strategy, host
+// configuration, and fabric topology, printing the measurements and
+// interrupt statistics.
 //
 // Examples:
 //
 //	omxsim -workload pingpong -strategy openmx -size 128
+//	omxsim -workload pingpong -strategy openmx -bg 2 -qframes 64
 //	omxsim -workload rate -strategy disabled -size 0
+//	omxsim -workload incast -nodes 9 -strategy timeout -qframes 64
 //	omxsim -workload nas -bench is -class B -ranks 16 -strategy stream
 //	omxsim -workload pingpong -strategy timeout -delay 30 -irq single -nosleep
 //	omxsim -workload rate -strategy stream -json
@@ -19,18 +22,20 @@ import (
 
 	"openmxsim/internal/cluster"
 	"openmxsim/internal/exp"
+	"openmxsim/internal/fabric"
 	"openmxsim/internal/host"
 	"openmxsim/internal/nas"
 	"openmxsim/internal/nic"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/sweep"
 	"openmxsim/internal/units"
 )
 
 func main() {
-	workload := flag.String("workload", "pingpong", "pingpong | rate | nas")
+	workload := flag.String("workload", "pingpong", "pingpong | rate | incast | nas")
 	strategy := flag.String("strategy", "timeout", "disabled | timeout | openmx | stream | adaptive")
 	delay := flag.Int("delay", 75, "coalescing delay in microseconds")
-	size := flag.Int("size", 128, "message size in bytes (pingpong/rate)")
+	size := flag.Int("size", 128, "message size in bytes (pingpong/rate/incast)")
 	iters := flag.Int("iters", 30, "ping-pong iterations")
 	bench := flag.String("bench", "is", "NAS benchmark name")
 	class := flag.String("class", "W", "NAS class (S W A B C)")
@@ -38,6 +43,9 @@ func main() {
 	irq := flag.String("irq", "all", "IRQ routing: all | single | perqueue")
 	queues := flag.Int("queues", 1, "NIC receive queues")
 	nosleep := flag.Bool("nosleep", false, "disable C1E idle sleep")
+	nodes := flag.Int("nodes", 2, "cluster node count (incast: senders = nodes-1)")
+	bg := flag.Int("bg", 0, "background bulk streams congesting the receiver port (pingpong)")
+	qframes := flag.Int("qframes", 0, "switch egress queue bound in frames (0 = ideal unbounded port)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
@@ -53,6 +61,13 @@ func main() {
 	cfg.CoalesceDelay = sim.Time(*delay) * sim.Microsecond
 	cfg.SleepDisabled = *nosleep
 	cfg.Queues = *queues
+	cfg.Nodes = *nodes
+	if *qframes > 0 {
+		cfg.Topology = fabric.Topology{
+			Kind:              fabric.TopologyOutputQueued,
+			EgressQueueFrames: *qframes,
+		}
+	}
 	cfg.IRQPolicy, err = host.ParseIRQPolicy(*irq)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -75,7 +90,12 @@ func main() {
 
 	switch *workload {
 	case "pingpong":
-		lat, err := exp.PingPongLatency(cfg, []int{*size}, *iters)
+		var lat map[int]sim.Time
+		if *bg > 0 {
+			lat, _, _, err = sweep.RunPingPongLoaded(cfg, []int{*size}, *iters, sweep.Background{Streams: *bg})
+		} else {
+			lat, err = exp.PingPongLatency(cfg, []int{*size}, *iters)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -83,10 +103,30 @@ func main() {
 		emit(map[string]any{
 			"workload": "pingpong", "strategy": st.String(), "delay_us": *delay,
 			"irq": cfg.IRQPolicy.String(), "size_bytes": *size,
-			"latency_ns": int64(lat[*size]),
+			"bg_streams": *bg, "latency_ns": int64(lat[*size]),
 		}, func() {
-			fmt.Printf("one-way %s latency: %s (%s, delay %dus, irq %s)\n",
-				units.FormatBytes(*size), units.FormatDuration(lat[*size]), st, *delay, *irq)
+			fmt.Printf("one-way %s latency: %s (%s, delay %dus, irq %s, bg %d)\n",
+				units.FormatBytes(*size), units.FormatDuration(lat[*size]), st, *delay, *irq, *bg)
+		})
+	case "incast":
+		if *nodes < 2 {
+			fmt.Fprintln(os.Stderr, "incast needs -nodes >= 2 (senders = nodes-1)")
+			os.Exit(1)
+		}
+		res := sweep.RunIncast(sweep.IncastSpec{
+			Cluster: cfg, Senders: *nodes - 1, Size: *size,
+			Warmup: 5 * sim.Millisecond, Measure: 40 * sim.Millisecond,
+		})
+		emit(map[string]any{
+			"workload": "incast", "strategy": st.String(), "delay_us": *delay,
+			"senders": *nodes - 1, "size_bytes": *size,
+			"rate_msg_per_sec": res.Rate, "intr_per_sec": res.IntrRate,
+			"port_drops": res.PortDrops, "max_queue_frames": res.MaxQueueFrames,
+			"queue_wait_ns": res.QueueWaitNS,
+		}, func() {
+			fmt.Printf("incast %d->1 %s: %s msg/s, %s intr/s, %d drops, maxq %d (%s)\n",
+				*nodes-1, units.FormatBytes(*size), units.FormatRate(res.Rate),
+				units.FormatRate(res.IntrRate), res.PortDrops, res.MaxQueueFrames, st)
 		})
 	case "rate":
 		rate := exp.MessageRate(cfg, *size, 20*sim.Millisecond, 100*sim.Millisecond)

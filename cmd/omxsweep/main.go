@@ -1,7 +1,9 @@
 // Command omxsweep runs a parallel parameter sweep over the simulator's
-// tuning space and writes machine-readable results. Every grid point is an
-// independent deterministic simulation, so the sweep scales to all cores
-// and the output is byte-identical regardless of worker count.
+// tuning space — including the cluster-size and background-load axes of
+// the shared-fabric extension — and writes machine-readable results. Every
+// grid point is an independent deterministic simulation, so the sweep
+// scales to all cores and the output is byte-identical regardless of
+// worker count.
 //
 // Axes take comma-separated lists; delays also accept lo:hi:step ranges
 // (microseconds). Examples:
@@ -9,6 +11,7 @@
 //	omxsweep -strategies openmx,timeout -delays 0:100:25 -sizes 0,128,4096 -out sweep.json -workers 8
 //	omxsweep -strategies disabled,timeout,openmx,stream -sizes 1,128,65536 -rate -csvout sweep.csv
 //	omxsweep -delays 75 -irq round-robin,single-core -seeds 1,2,3 -out -
+//	omxsweep -strategies timeout,openmx -sizes 128,4096 -bg 0,2 -out congested.json
 package main
 
 import (
@@ -40,6 +43,8 @@ func run() int {
 	sizes := flag.String("sizes", "1,128,4096,65536", "comma-separated message sizes in bytes")
 	irq := flag.String("irq", "round-robin", "comma-separated IRQ policies: round-robin | single-core | per-queue")
 	queues := flag.String("queues", "1", "comma-separated NIC receive-queue counts")
+	nodes := flag.String("nodes", "2", "comma-separated cluster node counts")
+	bg := flag.String("bg", "0", "comma-separated background bulk-stream counts (congest the ping-pong)")
 	seeds := flag.String("seeds", "1", "comma-separated simulation seeds")
 	iters := flag.Int("iters", 30, "ping-pong iterations per point")
 	rate := flag.Bool("rate", false, "also measure message rate at every point")
@@ -75,7 +80,7 @@ func run() int {
 		}()
 	}
 
-	grid, err := buildGrid(*strategies, *delays, *sizes, *irq, *queues, *seeds)
+	grid, err := buildGrid(*strategies, *delays, *sizes, *irq, *queues, *nodes, *bg, *seeds)
 	if err != nil {
 		return fail(err)
 	}
@@ -137,7 +142,7 @@ func emit(path string, fn func(w io.Writer) error) error {
 	return f.Close()
 }
 
-func buildGrid(strategies, delays, sizes, irq, queues, seeds string) (sweep.Grid, error) {
+func buildGrid(strategies, delays, sizes, irq, queues, nodes, bg, seeds string) (sweep.Grid, error) {
 	var g sweep.Grid
 	for _, s := range split(strategies) {
 		st, err := nic.ParseStrategy(s)
@@ -171,6 +176,20 @@ func buildGrid(strategies, delays, sizes, irq, queues, seeds string) (sweep.Grid
 			return g, fmt.Errorf("bad queue count %q: %v", s, err)
 		}
 		g.Queues = append(g.Queues, v)
+	}
+	for _, s := range split(nodes) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return g, fmt.Errorf("bad node count %q: %v", s, err)
+		}
+		g.Nodes = append(g.Nodes, v)
+	}
+	for _, s := range split(bg) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return g, fmt.Errorf("bad background stream count %q: %v", s, err)
+		}
+		g.BgStreams = append(g.BgStreams, v)
 	}
 	for _, s := range split(seeds) {
 		v, err := strconv.ParseUint(s, 10, 64)

@@ -20,6 +20,12 @@ import (
 type Config struct {
 	// Nodes is the host count (paper: 2).
 	Nodes int
+	// Topology selects the fabric switching model. The zero value is the
+	// legacy direct model (ideal unbounded egress), which keeps every
+	// existing 2-node configuration bit-identical; TopologyOutputQueued
+	// enables bounded drop-tail egress queues with per-port stats for
+	// N-node congestion scenarios.
+	Topology fabric.Topology
 	// Strategy and CoalesceDelay select the NIC interrupt behaviour.
 	Strategy      nic.Strategy
 	CoalesceDelay sim.Time
@@ -73,6 +79,14 @@ func (c Config) Validate() error {
 	if !c.Strategy.Known() {
 		return fmt.Errorf("cluster: unknown strategy %d", int(c.Strategy))
 	}
+	if err := c.Topology.Validate(); err != nil {
+		return err
+	}
+	for node := range c.Topology.PortBandwidthBps {
+		if node >= c.Nodes {
+			return fmt.Errorf("cluster: port bandwidth override for node %d, have %d nodes", node, c.Nodes)
+		}
+	}
 	if c.IRQPolicy < host.IRQRoundRobin || c.IRQPolicy > host.IRQPerQueue {
 		return fmt.Errorf("cluster: unknown IRQ policy %d", int(c.IRQPolicy))
 	}
@@ -84,6 +98,19 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: IRQ core %d out of range [0,%d)", c.IRQCore, p.Host.Cores)
 	}
 	return nil
+}
+
+// stackRNGKey derives the per-node stack RNG namespace. Nodes 0..57 keep
+// the historical 0xC0+i keys (existing seeds reproduce bit for bit); from
+// node 58 on, 0xC0+i would collide with the switch's 0xFA key and correlate
+// that stack's jitter with the fabric's, so large clusters jump to a
+// disjoint namespace.
+func stackRNGKey(i int) uint64 {
+	k := uint64(0xC0 + i)
+	if k >= 0xFA {
+		return 0x1000 + uint64(i)
+	}
+	return k
 }
 
 // Cluster is a wired testbed.
@@ -114,6 +141,7 @@ func New(cfg Config) *Cluster {
 	eng := sim.NewEngine()
 	rng := sim.NewRNG(cfg.Seed)
 	sw := fabric.NewSwitch(eng, p.Link, rng.Derive(0xFA))
+	sw.SetTopology(cfg.Topology)
 	if cfg.Fault != nil {
 		sw.SetFault(cfg.Fault)
 	}
@@ -132,7 +160,7 @@ func New(cfg Config) *Cluster {
 			MaxFrames: cfg.MaxFrames,
 			Queues:    cfg.Queues,
 		})
-		s := omx.NewStack(eng, p, h, n, rng.Derive(uint64(0xC0+i)))
+		s := omx.NewStack(eng, p, h, n, rng.Derive(stackRNGKey(i)))
 		s.SetFramePool(pool)
 		if cfg.Mark != nil {
 			s.Mark = *cfg.Mark
@@ -141,6 +169,11 @@ func New(cfg Config) *Cluster {
 		c.NICs = append(c.NICs, n)
 		c.Stacks = append(c.Stacks, s)
 	}
+	// Per-port bandwidth overrides apply after the NICs registered their
+	// ports (map order is irrelevant: ports are independent).
+	for node, bps := range cfg.Topology.PortBandwidthBps {
+		sw.SetPortBandwidth(wire.NodeMAC(node), bps)
+	}
 	return c
 }
 
@@ -148,11 +181,27 @@ func New(cfg Config) *Cluster {
 // to node r/ranksPerNode, core (r mod ranksPerNode) mod cores, endpoint id
 // r mod ranksPerNode — the paper's "8 processes per node (one per core)".
 func (c *Cluster) OpenEndpoints(ranksPerNode int) []*omx.Endpoint {
+	nodes := make([]int, c.Cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return c.OpenEndpointsOn(nodes, ranksPerNode)
+}
+
+// OpenEndpointsOn opens ranksPerNode endpoints on each listed node, in
+// list order, with the same id/core placement as OpenEndpoints. It exists
+// for N-node scenarios where the MPI job spans a subset of the cluster
+// (e.g. a ping-pong pair on nodes 0-1 while nodes 2..N carry background
+// traffic on separately opened endpoints).
+func (c *Cluster) OpenEndpointsOn(nodes []int, ranksPerNode int) []*omx.Endpoint {
 	if ranksPerNode <= 0 {
 		panic("cluster: ranksPerNode must be positive")
 	}
 	var eps []*omx.Endpoint
-	for node := 0; node < c.Cfg.Nodes; node++ {
+	for _, node := range nodes {
+		if node < 0 || node >= c.Cfg.Nodes {
+			panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", node, c.Cfg.Nodes))
+		}
 		h := c.Hosts[node]
 		for i := 0; i < ranksPerNode; i++ {
 			core := h.Cores[i%len(h.Cores)]
@@ -160,6 +209,19 @@ func (c *Cluster) OpenEndpoints(ranksPerNode int) []*omx.Endpoint {
 		}
 	}
 	return eps
+}
+
+// Addr returns the fabric address of endpoint ep on a node (world
+// construction helper for >2-host scenarios).
+func (c *Cluster) Addr(node int, ep uint8) omx.Addr {
+	return omx.Addr{MAC: c.NICs[node].MAC(), EP: ep}
+}
+
+// PortStats returns the switch's egress-port counters for a node
+// (occupancy, drops, queueing latency — meaningful under the
+// output-queued topology).
+func (c *Cluster) PortStats(node int) fabric.PortStats {
+	return c.Switch.PortStats(c.NICs[node].MAC())
 }
 
 // Interrupts sums interrupts raised across all NICs ("on both sides", as

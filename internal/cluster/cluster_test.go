@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"openmxsim/internal/fabric"
 	"openmxsim/internal/host"
 	"openmxsim/internal/nic"
 	"openmxsim/internal/sim"
@@ -111,4 +112,74 @@ func TestValidate(t *testing.T) {
 			t.Errorf("bad config %d accepted: %+v", i, c)
 		}
 	}
+}
+
+func TestValidateTopology(t *testing.T) {
+	good := Paper()
+	good.Nodes = 4
+	good.Topology = fabric.Topology{
+		Kind:              fabric.TopologyOutputQueued,
+		EgressQueueFrames: 32,
+		PortBandwidthBps:  map[int]int64{3: 1_000_000_000},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good topology rejected: %v", err)
+	}
+	bad := []Config{
+		func() Config { c := Paper(); c.Topology.Kind = 9; return c }(),
+		func() Config { c := Paper(); c.Topology.EgressQueueFrames = -1; return c }(),
+		func() Config { c := Paper(); c.Topology.Discipline = 5; return c }(),
+		func() Config { // override beyond the node count
+			c := Paper()
+			c.Topology.Kind = fabric.TopologyOutputQueued
+			c.Topology.PortBandwidthBps = map[int]int64{5: 1_000_000_000}
+			return c
+		}(),
+		func() Config { // override under the frozen direct model
+			c := Paper()
+			c.Topology.PortBandwidthBps = map[int]int64{1: 1_000_000_000}
+			return c
+		}(),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad topology %d accepted: %+v", i, c.Topology)
+		}
+	}
+}
+
+func TestNNodeClusterWiring(t *testing.T) {
+	cfg := Paper()
+	cfg.Nodes = 5
+	cfg.Topology = fabric.Topology{Kind: fabric.TopologyOutputQueued}
+	cl := New(cfg)
+	if len(cl.Hosts) != 5 || len(cl.NICs) != 5 || len(cl.Stacks) != 5 {
+		t.Fatalf("wired %d/%d/%d hosts/nics/stacks, want 5 each", len(cl.Hosts), len(cl.NICs), len(cl.Stacks))
+	}
+	// Every port is attached and reachable for stats.
+	for node := 0; node < 5; node++ {
+		_ = cl.PortStats(node)
+	}
+	if a := cl.Addr(3, 7); a.MAC != cl.NICs[3].MAC() || a.EP != 7 {
+		t.Errorf("Addr(3,7) = %v", a)
+	}
+}
+
+func TestOpenEndpointsOnSubset(t *testing.T) {
+	cfg := Paper()
+	cfg.Nodes = 4
+	cl := New(cfg)
+	eps := cl.OpenEndpointsOn([]int{0, 2}, 2)
+	if len(eps) != 4 {
+		t.Fatalf("opened %d endpoints, want 4", len(eps))
+	}
+	if eps[0].Addr().MAC != cl.NICs[0].MAC() || eps[2].Addr().MAC != cl.NICs[2].MAC() {
+		t.Error("endpoints landed on wrong nodes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range node did not panic")
+		}
+	}()
+	cl.OpenEndpointsOn([]int{9}, 1)
 }

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIncastQuick(t *testing.T) {
+	rep := Incast(quick)
+	if len(rep.Rows) != 8 { // 2 fan-ins x 4 strategies
+		t.Fatalf("incast quick rows = %d, want 8", len(rep.Rows))
+	}
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "ERROR") {
+			t.Errorf("incast reported %q", n)
+		}
+	}
+	// The disabled strategy must pay more interrupts per message than the
+	// timeout strategy at every fan-in (the paper's tradeoff, now under
+	// convergence).
+	byKey := map[string]float64{}
+	for _, row := range rep.Rows {
+		if rate := parseRate(t, row[2]); rate <= 0 {
+			t.Errorf("fan-in %s strategy %s: non-positive rate %s", row[0], row[1], row[2])
+		}
+		byKey[row[0]+"/"+row[1]] = parseFloat(t, row[4])
+	}
+	for _, fanin := range []string{"2", "4"} {
+		if byKey[fanin+"/disabled"] <= byKey[fanin+"/timeout"] {
+			t.Errorf("fan-in %s: disabled intr/msg %.3f not above timeout %.3f",
+				fanin, byKey[fanin+"/disabled"], byKey[fanin+"/timeout"])
+		}
+	}
+}
+
+func TestIncastDeterministic(t *testing.T) {
+	a, b := Incast(quick), Incast(quick)
+	if a.String() != b.String() {
+		t.Error("incast is not deterministic across runs")
+	}
+}
+
+func TestCongestedPingPongQuick(t *testing.T) {
+	rep := CongestedPingPong(quick)
+	if len(rep.Rows) != 2 { // quick sizes
+		t.Fatalf("congested-pingpong quick rows = %d, want 2", len(rep.Rows))
+	}
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "ERROR") {
+			t.Errorf("congested-pingpong reported %q", n)
+		}
+	}
+	// Columns: size, timeout, timeout+bg, x, openmx, openmx+bg, x. The
+	// loaded openmx latency must stay positive and the 128B openmx case
+	// must remain below the loaded timeout latency (the marker-driven
+	// firmware keeps its advantage under congestion).
+	row := rep.Rows[0] // 128B
+	if parseFloat(t, row[4]) <= 0 || parseFloat(t, row[5]) <= 0 {
+		t.Fatalf("non-positive openmx latencies: %v", row)
+	}
+	if openmxLoaded, timeoutLoaded := parseFloat(t, row[5]), parseFloat(t, row[2]); openmxLoaded >= timeoutLoaded {
+		t.Errorf("128B loaded: openmx %.1fus not below timeout %.1fus", openmxLoaded, timeoutLoaded)
+	}
+}

@@ -30,6 +30,8 @@ var registry = []struct {
 	{"multiqueue", "multiqueue extension (Section VI)", Multiqueue},
 	{"jumbo", "MTU 9000 extension (Section IV-A)", Jumbo},
 	{"sweep", "parallel tradeoff grid: strategy x delay x size (Figs. 4-6 in one run)", Sweep},
+	{"incast", "N senders -> 1 receiver: rate and interrupts vs fan-in (shared-fabric extension)", Incast},
+	{"congested-pingpong", "Fig. 5 ping-pong with background bulk streams on the receiver port", CongestedPingPong},
 }
 
 // IDs lists experiment identifiers in run order.

@@ -3,9 +3,36 @@
 // and queueing, propagation delay, per-frame timing jitter, and optional
 // fault injection (drop, duplicate, delay-induced reordering).
 //
+// Two switching models are available, selected by Topology:
+//
+//   - TopologyDirect (the default, and the paper's evaluation setup): every
+//     egress port is an ideal unbounded serialization resource. Frames are
+//     never lost to congestion; a burst into one port simply stretches the
+//     busy-until horizon. This is exact for the paper's 2-node back-to-back
+//     link and stays bit-identical across releases.
+//   - TopologyOutputQueued: an output-queued switch with a bounded FIFO
+//     drop-tail queue per egress port and per-port occupancy/drop/latency
+//     statistics. This is the model for N-node shared-fabric scenarios
+//     (incast fan-in, background bulk streams congesting a port) where the
+//     interrupt-load/latency tradeoff meets switch buffering.
+//
 // The fabric is where large-message bandwidth and the inter-packet gaps seen
 // by the receiving NIC are decided, so it directly shapes the pull-protocol
 // results (Table II) and the Stream-coalescing deferral window (Table III).
+//
+// # Frame ownership and reference counting
+//
+// The fabric follows the wire.Frame rules (see the internal/wire package
+// comment): Send takes over the caller's reference and the frame travels
+// with exactly that one reference until it is handed to the destination
+// Receiver, which inherits it.  Every path that ends a frame's journey
+// inside the fabric — a fault-injected drop, a drop-tail rejection at a
+// full egress queue — calls Release exactly once. Duplicate delivery takes
+// one extra reference with Ref, so each of the two deliveries hands an
+// independently owned reference to the receiver. The fabric never touches a
+// frame after delivering or releasing it: queue entries, in-flight delivery
+// records, and the free lists they recycle through only ever hold frames
+// the fabric currently owns.
 package fabric
 
 import (
@@ -21,6 +48,107 @@ type Receiver interface {
 	// ReceiveFrame is invoked at the virtual time the last bit of the frame
 	// arrives at the port.
 	ReceiveFrame(f *wire.Frame)
+}
+
+// TopologyKind selects the switching model.
+type TopologyKind int
+
+const (
+	// TopologyDirect is the legacy ideal model: unbounded per-port egress
+	// serialization, no queue, no congestion loss.
+	TopologyDirect TopologyKind = iota
+	// TopologyOutputQueued is the bounded output-queued switch: each egress
+	// port owns a FIFO queue of at most Topology.EgressQueueFrames frames;
+	// arrivals beyond that are dropped (drop-tail).
+	TopologyOutputQueued
+)
+
+var topologyNames = [...]string{"direct", "output-queued"}
+
+func (k TopologyKind) String() string {
+	if k >= 0 && int(k) < len(topologyNames) {
+		return topologyNames[k]
+	}
+	return fmt.Sprintf("topology(%d)", int(k))
+}
+
+// QueueDiscipline selects how a bounded egress queue admits frames.
+type QueueDiscipline int
+
+const (
+	// DropTail rejects the arriving frame when the queue is full (the
+	// classic FIFO discipline of commodity Ethernet switches).
+	DropTail QueueDiscipline = iota
+)
+
+var disciplineNames = [...]string{"drop-tail"}
+
+func (d QueueDiscipline) String() string {
+	if d >= 0 && int(d) < len(disciplineNames) {
+		return disciplineNames[d]
+	}
+	return fmt.Sprintf("discipline(%d)", int(d))
+}
+
+// DefaultEgressQueueFrames is the per-port buffer used when a Topology
+// selects the output-queued model without an explicit bound. 128 full
+// frames per port is in the range of the shallow shared-buffer switches of
+// the paper's era.
+const DefaultEgressQueueFrames = 128
+
+// Topology configures the switching model. The zero value is the legacy
+// direct model, guaranteeing existing 2-node configurations behave (and
+// measure) exactly as before.
+type Topology struct {
+	// Kind selects direct (ideal) or output-queued (bounded) switching.
+	Kind TopologyKind
+	// EgressQueueFrames bounds each egress port's queue in frames for the
+	// output-queued model; <= 0 selects DefaultEgressQueueFrames. Ignored
+	// by the direct model.
+	EgressQueueFrames int
+	// Discipline is the bounded queue's admission policy (drop-tail only,
+	// for now).
+	Discipline QueueDiscipline
+	// PortBandwidthBps overrides the egress line rate of individual ports,
+	// keyed by node index (see wire.NodeMAC); absent ports use the link's
+	// default rate. Applied by cluster wiring via SetPortBandwidth. Only
+	// meaningful with TopologyOutputQueued — the direct model's timing is
+	// frozen, so Validate rejects overrides there rather than silently
+	// ignoring them.
+	PortBandwidthBps map[int]int64
+}
+
+// Validate reports whether the topology is buildable.
+func (t Topology) Validate() error {
+	if t.Kind != TopologyDirect && t.Kind != TopologyOutputQueued {
+		return fmt.Errorf("fabric: unknown topology kind %d", int(t.Kind))
+	}
+	if t.Kind == TopologyDirect && len(t.PortBandwidthBps) > 0 {
+		return fmt.Errorf("fabric: port bandwidth overrides require the output-queued topology (the direct model is frozen)")
+	}
+	if t.Discipline != DropTail {
+		return fmt.Errorf("fabric: unknown queue discipline %d", int(t.Discipline))
+	}
+	if t.EgressQueueFrames < 0 {
+		return fmt.Errorf("fabric: negative egress queue bound %d", t.EgressQueueFrames)
+	}
+	for node, bps := range t.PortBandwidthBps {
+		if node < 0 {
+			return fmt.Errorf("fabric: negative node index %d in port bandwidth overrides", node)
+		}
+		if bps <= 0 {
+			return fmt.Errorf("fabric: non-positive bandwidth %d for node %d", bps, node)
+		}
+	}
+	return nil
+}
+
+// queueCap returns the effective per-port queue bound.
+func (t Topology) queueCap() int {
+	if t.EgressQueueFrames > 0 {
+		return t.EgressQueueFrames
+	}
+	return DefaultEgressQueueFrames
 }
 
 // Fault describes an injected network imperfection, applied per frame.
@@ -42,6 +170,26 @@ func (fl *Fault) matches(f *wire.Frame) bool {
 	return fl != nil && (fl.Filter == nil || fl.Filter(f))
 }
 
+// PortStats are the per-egress-port counters of the switch. In the direct
+// model only the delivery counters advance; the queue fields are specific
+// to the output-queued model.
+type PortStats struct {
+	// FramesDelivered and BytesDelivered count frames handed to the port's
+	// receiver.
+	FramesDelivered uint64
+	BytesDelivered  uint64
+	// Enqueued counts frames admitted to the egress queue.
+	Enqueued uint64
+	// Drops counts frames rejected by the full egress queue (drop-tail).
+	Drops uint64
+	// MaxQueueFrames is the queue-occupancy high-water mark, in frames.
+	MaxQueueFrames int
+	// QueueWait accumulates the time frames spent waiting in the egress
+	// queue before their transmission started; QueueWait / Enqueued is the
+	// mean per-frame queueing latency.
+	QueueWait sim.Time
+}
+
 // Switch is the central store-and-forward element. Ports are registered by
 // MAC; each port has an independent ingress (host->switch) and egress
 // (switch->host) serialization resource, which is how both directions of a
@@ -50,13 +198,18 @@ type Switch struct {
 	eng   *sim.Engine
 	link  params.Link
 	rng   *sim.RNG
+	topo  Topology
+	qcap  int
 	ports map[wire.MAC]*port
 	fault *Fault
 
-	// In-flight deliveries are recycled through a free list and fire
-	// through one bound callback, so forwarding a frame never allocates.
+	// In-flight deliveries (and, in the output-queued model, pending
+	// egress-enqueue records) are recycled through a free list and fire
+	// through bound callbacks, so forwarding a frame never allocates.
 	delivFree []*delivery
 	deliverFn func(any)
+	enqueueFn func(any)
+	txDoneFn  func(any)
 
 	// Stats
 	FramesDelivered uint64
@@ -64,25 +217,63 @@ type Switch struct {
 	BytesDelivered  uint64
 }
 
-// delivery is one scheduled frame arrival at a port.
+// delivery is one scheduled frame arrival at a port (also reused as the
+// switch-internal "frame ready for egress queueing" record).
 type delivery struct {
 	p *port
 	f *wire.Frame
 }
 
+// qent is one frame waiting in an egress queue, stamped with its enqueue
+// time for the queueing-latency statistics. Entries are plain values inside
+// the port's queue slice, so the queue itself never allocates per frame
+// once its backing array has grown.
+type qent struct {
+	f  *wire.Frame
+	at sim.Time
+}
+
 type port struct {
 	mac         wire.MAC
 	rx          Receiver
-	ingressBusy sim.Time // sender-side wire occupancy
-	egressBusy  sim.Time // receiver-side wire occupancy
+	link        params.Link // egress link (per-port bandwidth overrides)
+	ingressBusy sim.Time    // sender-side wire occupancy
+	egressBusy  sim.Time    // receiver-side wire occupancy (direct model)
+
+	// Output-queued model state: the bounded FIFO (a head-indexed slice
+	// ring: qhead..len(q) are live, dequeue is O(1), compaction is
+	// amortized over a full buffer's worth of frames) and whether the port
+	// is currently clocking a frame out.
+	q      []qent
+	qhead  int
+	txBusy bool
+
+	stats PortStats
 }
 
-// NewSwitch creates a switch with the given link characteristics.
+// NewSwitch creates a switch with the given link characteristics and the
+// default direct topology.
 func NewSwitch(eng *sim.Engine, link params.Link, rng *sim.RNG) *Switch {
-	s := &Switch{eng: eng, link: link, rng: rng, ports: make(map[wire.MAC]*port)}
+	s := &Switch{eng: eng, link: link, rng: rng, ports: make(map[wire.MAC]*port), qcap: Topology{}.queueCap()}
 	s.deliverFn = func(x any) { s.deliverNow(x.(*delivery)) }
+	s.enqueueFn = func(x any) { s.enqueueNow(x.(*delivery)) }
+	s.txDoneFn = func(x any) { s.txDone(x.(*port)) }
 	return s
 }
+
+// SetTopology installs the switching model. It must be called before any
+// traffic flows (cluster wiring calls it right after construction); the
+// configuration is validated here so malformed topologies fail loudly.
+func (s *Switch) SetTopology(t Topology) {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	s.topo = t
+	s.qcap = t.queueCap()
+}
+
+// Topology returns the active switching model.
+func (s *Switch) Topology() Topology { return s.topo }
 
 // SetFault installs (or clears, with nil) the fault-injection plan.
 func (s *Switch) SetFault(f *Fault) { s.fault = f }
@@ -92,12 +283,48 @@ func (s *Switch) Attach(mac wire.MAC, rx Receiver) {
 	if _, dup := s.ports[mac]; dup {
 		panic(fmt.Sprintf("fabric: duplicate port %s", mac))
 	}
-	s.ports[mac] = &port{mac: mac, rx: rx}
+	s.ports[mac] = &port{mac: mac, rx: rx, link: s.link}
 }
 
+// SetPortBandwidth overrides the egress line rate of an attached port.
+func (s *Switch) SetPortBandwidth(mac wire.MAC, bps int64) {
+	p, ok := s.ports[mac]
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown port %s", mac))
+	}
+	if bps <= 0 {
+		panic(fmt.Sprintf("fabric: non-positive bandwidth %d for port %s", bps, mac))
+	}
+	p.link.BandwidthBps = bps
+}
+
+// PortStats returns a snapshot of the per-port counters for mac.
+func (s *Switch) PortStats(mac wire.MAC) PortStats {
+	p, ok := s.ports[mac]
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown port %s", mac))
+	}
+	return p.stats
+}
+
+// QueueLen returns the current egress-queue depth of mac's port (always 0
+// in the direct model).
+func (s *Switch) QueueLen(mac wire.MAC) int {
+	p, ok := s.ports[mac]
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown port %s", mac))
+	}
+	return p.qlen()
+}
+
+// qlen is the live egress-queue depth.
+func (p *port) qlen() int { return len(p.q) - p.qhead }
+
 // Send injects a frame at the source port at the current virtual time. The
-// frame serializes onto the source link, crosses the switch, serializes onto
-// the destination link, and is delivered after the propagation delays.
+// frame serializes onto the source link, crosses the switch, and reaches
+// the destination port's egress resource: an ideal serializer in the direct
+// model, a bounded drop-tail queue in the output-queued model. Send takes
+// over the caller's frame reference (see the package comment).
 func (s *Switch) Send(f *wire.Frame) {
 	src, ok := s.ports[f.Src]
 	if !ok {
@@ -107,7 +334,18 @@ func (s *Switch) Send(f *wire.Frame) {
 	if !ok {
 		panic(fmt.Sprintf("fabric: unknown destination %s", f.Dst))
 	}
+	if s.topo.Kind == TopologyOutputQueued {
+		s.sendQueued(src, dst, f)
+		return
+	}
+	s.sendDirect(src, dst, f)
+}
 
+// sendDirect is the legacy ideal path: all timing is computed up front on
+// busy-until horizons and only the final arrival is a scheduled event. This
+// code path (including its RNG draw order) is frozen: existing 2-node
+// reports depend on it bit for bit.
+func (s *Switch) sendDirect(src, dst *port, f *wire.Frame) {
 	now := s.eng.Now()
 	ser := s.link.SerializationTime(f.WireBytes())
 
@@ -149,7 +387,114 @@ func (s *Switch) Send(f *wire.Frame) {
 	s.deliver(dst, f, arrival)
 }
 
-func (s *Switch) deliver(p *port, f *wire.Frame, at sim.Time) {
+// sendQueued is the output-queued path: ingress serialization and switch
+// transit are computed up front, but the egress port is a real queue whose
+// occupancy is evaluated when the frame reaches it, so congestion, loss and
+// queueing delay emerge from event order rather than busy-until arithmetic.
+func (s *Switch) sendQueued(src, dst *port, f *wire.Frame) {
+	now := s.eng.Now()
+	// Ingress always runs at the fabric's default rate: per-port overrides
+	// model the egress direction only (SetPortBandwidth's contract).
+	ser := s.link.SerializationTime(f.WireBytes())
+
+	start := now
+	if src.ingressBusy > start {
+		start = src.ingressBusy
+	}
+	atSwitch := start + ser + s.link.PropagationDelay
+	src.ingressBusy = start + ser
+	ready := atSwitch + s.link.SwitchLatency
+
+	// Fault injection happens at the switch, before the egress queue: a
+	// dropped frame never occupies buffer space.
+	if s.fault.matches(f) {
+		if s.rng.Bool(s.fault.DropProb) {
+			s.FramesDropped++
+			f.Release()
+			return
+		}
+		if s.fault.DelayProb > 0 && s.rng.Bool(s.fault.DelayProb) {
+			ready += s.fault.DelayTime
+		}
+		if s.fault.DupProb > 0 && s.rng.Bool(s.fault.DupProb) {
+			f.Ref()
+			s.scheduleEgress(dst, f, ready+ser)
+		}
+	}
+	s.scheduleEgress(dst, f, ready)
+}
+
+// scheduleEgress queues an "offer frame to dst's egress queue" event at
+// virtual time at, recycling delivery records.
+func (s *Switch) scheduleEgress(p *port, f *wire.Frame, at sim.Time) {
+	d := s.getDelivery(p, f)
+	s.eng.ScheduleArg(at, s.enqueueFn, d)
+}
+
+// enqueueNow offers a frame to the egress queue: drop-tail when full,
+// otherwise FIFO admission; an idle port starts transmitting immediately.
+func (s *Switch) enqueueNow(d *delivery) {
+	p, f := d.p, d.f
+	s.putDelivery(d)
+	if p.qlen() >= s.qcap {
+		p.stats.Drops++
+		s.FramesDropped++
+		f.Release()
+		return
+	}
+	p.q = append(p.q, qent{f: f, at: s.eng.Now()})
+	p.stats.Enqueued++
+	if n := p.qlen(); n > p.stats.MaxQueueFrames {
+		p.stats.MaxQueueFrames = n
+	}
+	if !p.txBusy {
+		s.txStart(p)
+	}
+}
+
+// txStart pops the egress queue's head and clocks it onto the port's link:
+// the frame arrives after serialization + propagation (+ jitter), and the
+// port frees up for the next queued frame after serialization alone.
+func (s *Switch) txStart(p *port) {
+	e := p.q[p.qhead]
+	p.q[p.qhead] = qent{} // don't pin the frame from the dead prefix
+	p.qhead++
+	switch {
+	case p.qhead == len(p.q):
+		// Drained: reuse the backing array from the start.
+		p.q = p.q[:0]
+		p.qhead = 0
+	case p.qhead >= s.qcap:
+		// A full buffer's worth of dead prefix: compact once, keeping
+		// dequeue amortized O(1) and the slice bounded by 2*qcap.
+		n := copy(p.q, p.q[p.qhead:])
+		clearTail := p.q[n:]
+		for i := range clearTail {
+			clearTail[i] = qent{}
+		}
+		p.q = p.q[:n]
+		p.qhead = 0
+	}
+
+	now := s.eng.Now()
+	p.stats.QueueWait += now - e.at
+	p.txBusy = true
+	ser := p.link.SerializationTime(e.f.WireBytes())
+	arrival := now + ser + s.link.PropagationDelay + s.rng.Jitter(0, s.link.JitterSD)
+	s.deliver(p, e.f, arrival)
+	s.eng.ScheduleArg(now+ser, s.txDoneFn, p)
+}
+
+// txDone frees the egress link and starts the next queued frame, if any.
+func (s *Switch) txDone(p *port) {
+	p.txBusy = false
+	if len(p.q) > 0 {
+		s.txStart(p)
+	}
+}
+
+// getDelivery takes a delivery record off the free list.
+func (s *Switch) getDelivery(p *port, f *wire.Frame) *delivery {
 	var d *delivery
 	if k := len(s.delivFree); k > 0 {
 		d = s.delivFree[k-1]
@@ -159,15 +504,26 @@ func (s *Switch) deliver(p *port, f *wire.Frame, at sim.Time) {
 		d = &delivery{}
 	}
 	d.p, d.f = p, f
-	s.eng.ScheduleArg(at, s.deliverFn, d)
+	return d
+}
+
+// putDelivery clears and recycles a delivery record.
+func (s *Switch) putDelivery(d *delivery) {
+	d.p, d.f = nil, nil
+	s.delivFree = append(s.delivFree, d)
+}
+
+func (s *Switch) deliver(p *port, f *wire.Frame, at sim.Time) {
+	s.eng.ScheduleArg(at, s.deliverFn, s.getDelivery(p, f))
 }
 
 // deliverNow hands the frame (and its reference) to the destination port.
 func (s *Switch) deliverNow(d *delivery) {
 	p, f := d.p, d.f
-	d.p, d.f = nil, nil
-	s.delivFree = append(s.delivFree, d)
+	s.putDelivery(d)
 	s.FramesDelivered++
 	s.BytesDelivered += uint64(f.WireBytes())
+	p.stats.FramesDelivered++
+	p.stats.BytesDelivered += uint64(f.WireBytes())
 	p.rx.ReceiveFrame(f)
 }

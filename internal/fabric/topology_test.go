@@ -1,0 +1,258 @@
+package fabric
+
+import (
+	"testing"
+
+	"openmxsim/internal/sim"
+	"openmxsim/internal/wire"
+)
+
+// queuedSwitch builds a switch in output-queued mode with n attached sinks.
+func queuedSwitch(t *testing.T, topo Topology, n int) (*sim.Engine, *Switch, []*sink) {
+	t.Helper()
+	eng := sim.NewEngine()
+	sw := NewSwitch(eng, testLink(), sim.NewRNG(1))
+	topo.Kind = TopologyOutputQueued
+	sw.SetTopology(topo)
+	sinks := make([]*sink, n)
+	for i := range sinks {
+		sinks[i] = &sink{eng: eng}
+		sw.Attach(wire.NodeMAC(i), sinks[i])
+	}
+	return eng, sw, sinks
+}
+
+func TestTopologyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		topo Topology
+		ok   bool
+	}{
+		{"zero value (direct)", Topology{}, true},
+		{"output-queued default", Topology{Kind: TopologyOutputQueued}, true},
+		{"explicit bound", Topology{Kind: TopologyOutputQueued, EgressQueueFrames: 4}, true},
+		{"unknown kind", Topology{Kind: TopologyKind(9)}, false},
+		{"negative kind", Topology{Kind: TopologyKind(-1)}, false},
+		{"unknown discipline", Topology{Discipline: QueueDiscipline(3)}, false},
+		{"negative bound", Topology{Kind: TopologyOutputQueued, EgressQueueFrames: -1}, false},
+		{"bad port override", Topology{Kind: TopologyOutputQueued, PortBandwidthBps: map[int]int64{0: 0}}, false},
+		{"negative override node", Topology{Kind: TopologyOutputQueued, PortBandwidthBps: map[int]int64{-1: 1e9}}, false},
+		{"good override", Topology{Kind: TopologyOutputQueued, PortBandwidthBps: map[int]int64{1: 1_000_000_000}}, true},
+		{"override under frozen direct model", Topology{PortBandwidthBps: map[int]int64{1: 1_000_000_000}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.topo.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestQueuedMatchesDirectWhenUncongested checks the output-queued model
+// delivers an isolated frame at exactly the direct model's latency: the
+// bounded queue only changes behaviour under contention.
+func TestQueuedMatchesDirectWhenUncongested(t *testing.T) {
+	link := testLink()
+	eng, sw, sinks := queuedSwitch(t, Topology{}, 2)
+	f := smallFrame(0, 1, 0)
+	sw.Send(f)
+	eng.Run()
+	if len(sinks[1].frames) != 1 {
+		t.Fatalf("delivered %d frames, want 1", len(sinks[1].frames))
+	}
+	ser := link.SerializationTime(f.WireBytes())
+	want := 2*ser + 2*link.PropagationDelay + link.SwitchLatency
+	if sinks[1].times[0] != want {
+		t.Errorf("arrival at %d, want %d (direct-model latency)", sinks[1].times[0], want)
+	}
+}
+
+// TestQueuedEgressKeepsLineRate checks two senders converging on one port
+// drain at exactly the egress line rate, FIFO, with no loss while the
+// burst fits the buffer.
+func TestQueuedEgressKeepsLineRate(t *testing.T) {
+	link := testLink()
+	eng, sw, sinks := queuedSwitch(t, Topology{EgressQueueFrames: 256}, 3)
+	const n = 40
+	for i := 0; i < n; i++ {
+		sw.Send(smallFrame(0, 2, uint32(i)))
+		sw.Send(smallFrame(1, 2, uint32(1000+i)))
+	}
+	eng.Run()
+	if got := len(sinks[2].times); got != 2*n {
+		t.Fatalf("delivered %d, want %d", got, 2*n)
+	}
+	ser := link.SerializationTime(smallFrame(0, 2, 0).WireBytes())
+	for i := 1; i < len(sinks[2].times); i++ {
+		if gap := sinks[2].times[i] - sinks[2].times[i-1]; gap < ser {
+			t.Fatalf("frames %d..%d delivered %d ns apart, beats egress line rate %d", i-1, i, gap, ser)
+		}
+	}
+	st := sw.PortStats(wire.NodeMAC(2))
+	if st.Drops != 0 {
+		t.Errorf("Drops = %d, want 0 (burst fits the buffer)", st.Drops)
+	}
+	if st.Enqueued != 2*n || st.FramesDelivered != 2*n {
+		t.Errorf("Enqueued/Delivered = %d/%d, want %d/%d", st.Enqueued, st.FramesDelivered, 2*n, 2*n)
+	}
+	if st.MaxQueueFrames == 0 {
+		t.Error("MaxQueueFrames = 0: contention never queued")
+	}
+	if st.QueueWait == 0 {
+		t.Error("QueueWait = 0: contention was free")
+	}
+}
+
+// TestDropTailBoundsTheQueue floods a port far beyond its buffer and checks
+// the excess is dropped, the survivors arrive in FIFO order, and occupancy
+// never exceeds the bound.
+func TestDropTailBoundsTheQueue(t *testing.T) {
+	const qcap = 8
+	eng, sw, sinks := queuedSwitch(t, Topology{EgressQueueFrames: qcap}, 3)
+	const n = 200
+	for i := 0; i < n; i++ {
+		// Two ingress ports at full rate into one egress port: a 2:1
+		// overload that must overflow an 8-frame buffer.
+		sw.Send(smallFrame(0, 2, uint32(i)))
+		sw.Send(smallFrame(1, 2, uint32(1000+i)))
+	}
+	eng.Run()
+	st := sw.PortStats(wire.NodeMAC(2))
+	if st.Drops == 0 {
+		t.Fatal("no drops under 2:1 overload of an 8-frame buffer")
+	}
+	if st.MaxQueueFrames > qcap {
+		t.Errorf("MaxQueueFrames = %d, exceeds bound %d", st.MaxQueueFrames, qcap)
+	}
+	if got := uint64(len(sinks[2].frames)); got != st.FramesDelivered {
+		t.Errorf("sink saw %d frames, port counted %d", got, st.FramesDelivered)
+	}
+	if st.Enqueued+st.Drops != 2*n {
+		t.Errorf("Enqueued(%d) + Drops(%d) != offered(%d)", st.Enqueued, st.Drops, 2*n)
+	}
+	// Per-flow FIFO: each flow's surviving sequence numbers stay ordered.
+	last0, last1 := -1, -1
+	for _, f := range sinks[2].frames {
+		seq := int(f.Header.Seq)
+		if seq < 1000 {
+			if seq <= last0 {
+				t.Fatalf("flow 0 reordered: %d after %d", seq, last0)
+			}
+			last0 = seq
+		} else {
+			if seq <= last1 {
+				t.Fatalf("flow 1 reordered: %d after %d", seq, last1)
+			}
+			last1 = seq
+		}
+	}
+}
+
+// TestDropTailReleasesFrames checks drop-tail rejections release the pooled
+// frame reference (the ownership rule in the package comment).
+func TestDropTailReleasesFrames(t *testing.T) {
+	eng, sw, _ := queuedSwitch(t, Topology{EgressQueueFrames: 2}, 2)
+	// A 10x slower egress port guarantees the 2-frame buffer overflows.
+	sw.SetPortBandwidth(wire.NodeMAC(1), testLink().BandwidthBps/10)
+	pool := wire.NewPool()
+	const n = 50
+	for i := 0; i < n; i++ {
+		h := wire.Header{Type: wire.TypeSmall, Seq: uint32(i)}
+		sw.Send(pool.Get(wire.NodeMAC(0), wire.NodeMAC(1), h, nil, 128))
+	}
+	eng.Run()
+	st := sw.PortStats(wire.NodeMAC(1))
+	if st.Drops == 0 {
+		t.Fatal("expected drops from a 2-frame buffer")
+	}
+	// Every frame ended its journey (delivered or dropped); re-Getting n
+	// frames from the pool must not find any still referenced. A leaked
+	// reference would panic wire.Release during later recycling, and a
+	// double release panics immediately, so surviving to here with matching
+	// counters is the check.
+	if st.FramesDelivered+st.Drops != n {
+		t.Errorf("delivered(%d) + dropped(%d) != sent(%d)", st.FramesDelivered, st.Drops, n)
+	}
+}
+
+// TestPortBandwidthOverride slows one egress port and checks its drain rate
+// follows the override while the stock port is unaffected.
+func TestPortBandwidthOverride(t *testing.T) {
+	link := testLink()
+	eng, sw, sinks := queuedSwitch(t, Topology{EgressQueueFrames: 256}, 3)
+	slow := link
+	slow.BandwidthBps = link.BandwidthBps / 10
+	sw.SetPortBandwidth(wire.NodeMAC(2), slow.BandwidthBps)
+	const n = 10
+	for i := 0; i < n; i++ {
+		sw.Send(smallFrame(0, 2, uint32(i)))
+		sw.Send(smallFrame(1, 2, uint32(i)))
+	}
+	_ = sinks
+	eng.Run()
+	gap := sinks[2].times[1] - sinks[2].times[0]
+	if want := slow.SerializationTime(smallFrame(0, 2, 0).WireBytes()); gap != want {
+		t.Errorf("slow-port inter-arrival %d, want %d", gap, want)
+	}
+}
+
+// TestQueuedFaultInjection checks drops and duplicates behave in the
+// output-queued model: drops never occupy buffer, duplicates deliver twice.
+func TestQueuedFaultInjection(t *testing.T) {
+	eng, sw, sinks := queuedSwitch(t, Topology{}, 2)
+	sw.SetFault(&Fault{DropProb: 1.0})
+	sw.Send(smallFrame(0, 1, 0))
+	eng.Run()
+	if len(sinks[1].frames) != 0 || sw.FramesDropped != 1 {
+		t.Fatalf("fault drop: delivered=%d dropped=%d", len(sinks[1].frames), sw.FramesDropped)
+	}
+	if st := sw.PortStats(wire.NodeMAC(1)); st.Enqueued != 0 {
+		t.Errorf("fault-dropped frame was enqueued (%d)", st.Enqueued)
+	}
+
+	sw.SetFault(&Fault{DupProb: 1.0})
+	sw.Send(smallFrame(0, 1, 7))
+	eng.Run()
+	if len(sinks[1].frames) != 2 {
+		t.Errorf("duplicate fault delivered %d frames, want 2", len(sinks[1].frames))
+	}
+}
+
+// TestQueuedNoAllocSteadyState checks the queued hot path recycles its
+// records: a long unidirectional flow must not allocate per frame.
+func TestQueuedNoAllocSteadyState(t *testing.T) {
+	eng, sw, sinks := queuedSwitch(t, Topology{EgressQueueFrames: 64}, 2)
+	// Warm up the free lists and queue backing array.
+	for i := 0; i < 100; i++ {
+		sw.Send(smallFrame(0, 1, uint32(i)))
+	}
+	eng.Run()
+	warm := len(sinks[1].frames)
+	sinks[1].frames = sinks[1].frames[:0]
+	sinks[1].times = sinks[1].times[:0]
+	_ = warm
+
+	avg := testing.AllocsPerRun(50, func() {
+		sw.Send(smallFrame(0, 1, 1)) // NewFrame itself allocates the frame...
+		eng.Run()
+	})
+	// ...so the budget is the frame allocation plus the sink's append; the
+	// switch's own records must all come from free lists.
+	if avg > 3 {
+		t.Errorf("queued forwarding allocates %.1f objects/frame in steady state", avg)
+	}
+}
+
+func TestTopologyKindStrings(t *testing.T) {
+	if TopologyDirect.String() != "direct" || TopologyOutputQueued.String() != "output-queued" {
+		t.Errorf("kind names: %q, %q", TopologyDirect, TopologyOutputQueued)
+	}
+	if DropTail.String() != "drop-tail" {
+		t.Errorf("discipline name: %q", DropTail)
+	}
+	if TopologyKind(-3).String() != "topology(-3)" {
+		t.Errorf("negative kind: %q", TopologyKind(-3))
+	}
+	if QueueDiscipline(7).String() != "discipline(7)" {
+		t.Errorf("unknown discipline: %q", QueueDiscipline(7))
+	}
+}

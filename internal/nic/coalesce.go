@@ -33,7 +33,7 @@ const (
 var strategyNames = [...]string{"disabled", "timeout", "openmx", "stream", "adaptive"}
 
 func (s Strategy) String() string {
-	if int(s) < len(strategyNames) {
+	if s >= 0 && int(s) < len(strategyNames) {
 		return strategyNames[s]
 	}
 	return fmt.Sprintf("strategy(%d)", int(s))
@@ -83,7 +83,7 @@ func newCoalescer(cfg Config, q *rxQueue) coalescer {
 		c.bindTimer()
 		return c
 	case StrategyAdaptive:
-		c := &adaptiveCoalescer{timeoutCoalescer: timeoutCoalescer{q: q, delay: cfg.Delay}}
+		c := &adaptiveCoalescer{timeoutCoalescer: timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames}}
 		p := q.nic.p.NIC
 		if c.delay < p.AdaptiveMin {
 			c.delay = p.AdaptiveMin
@@ -286,8 +286,13 @@ func (c *streamCoalescer) raiseDeferred() {
 // cannot help real applications" because it only reacts to past traffic.
 type adaptiveCoalescer struct {
 	timeoutCoalescer
-	windowStart sim.Time
-	windowCount int
+	// windowStarted distinguishes "no window open yet" from a window that
+	// genuinely opened at simulated time 0 (a plain windowStart == 0
+	// sentinel would silently restart the rate window on every completion
+	// until the clock moved).
+	windowStarted bool
+	windowStart   sim.Time
+	windowCount   int
 }
 
 func (c *adaptiveCoalescer) Name() string          { return "adaptive" }
@@ -301,7 +306,8 @@ func (c *adaptiveCoalescer) onDMAComplete(d *RxDesc, pending int) {
 func (c *adaptiveCoalescer) adapt() {
 	p := c.q.nic.p.NIC
 	now := c.q.nic.eng.Now()
-	if c.windowStart == 0 {
+	if !c.windowStarted {
+		c.windowStarted = true
 		c.windowStart = now
 	}
 	c.windowCount++

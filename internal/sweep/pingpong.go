@@ -13,15 +13,25 @@ import (
 // in internal/exp delegate to it): mean one-way transfer time per message
 // size between two ranks on different nodes, plus the interrupt total
 // across both NICs and the number of messages it covers.
+func RunPingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, uint64, int, error) {
+	cl := cluster.New(cfg)
+	w := mpi.NewWorld(cl, cl.OpenEndpoints(1))
+	res, msgs, err := runPingPong(w, sizes, iters, nil)
+	return res, cl.Interrupts(), msgs, err
+}
+
+// runPingPong drives the two-rank measurement body on a prepared world:
+// rank 0 times warmup+iters round trips per size against rank 1. onFinish,
+// when non-nil, runs as soon as either rank leaves its loop (or panics) —
+// the loaded variant uses it to quench background traffic so the engine
+// can drain.
 //
 // Rank bodies run on their own goroutines, so a panic inside one would
 // escape any recover on the caller's goroutine and kill the whole process;
 // the per-rank recover below converts it into an error instead (the
 // partner rank then deadlocks, which World.Run reports and tears down
 // cleanly).
-func RunPingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, uint64, int, error) {
-	cl := cluster.New(cfg)
-	w := mpi.NewWorld(cl, cl.OpenEndpoints(1))
+func runPingPong(w *mpi.World, sizes []int, iters int, onFinish func()) (map[int]sim.Time, int, error) {
 	c := w.CommWorld()
 	const warmup = 2
 	res := make(map[int]sim.Time, len(sizes))
@@ -34,6 +44,9 @@ func RunPingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, 
 				}
 				if rankPanic == nil {
 					rankPanic = fmt.Errorf("rank %d panicked: %v", r.ID, p)
+				}
+				if onFinish != nil {
+					onFinish()
 				}
 			}
 		}()
@@ -58,6 +71,9 @@ func RunPingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, 
 				}
 			}
 		}
+		if onFinish != nil {
+			onFinish()
+		}
 	})
 	msgs := 2 * (warmup + iters) * len(sizes)
 	if rankPanic != nil {
@@ -68,5 +84,5 @@ func RunPingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, 
 		}
 		msgs = 0
 	}
-	return res, cl.Interrupts(), msgs, err
+	return res, msgs, err
 }

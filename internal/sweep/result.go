@@ -21,6 +21,10 @@ type Result struct {
 	Queues        int     `json:"queues"`
 	Seed          uint64  `json:"seed"`
 	SleepDisabled bool    `json:"sleep_disabled"`
+	// Nodes is the effective cluster size of the point (after raising for
+	// background streams); BgStreams the background-load axis value.
+	Nodes     int `json:"nodes"`
+	BgStreams int `json:"bg_streams"`
 
 	// LatencyNS is the mean one-way ping-pong transfer time in virtual ns.
 	LatencyNS int64 `json:"latency_ns"`
@@ -60,8 +64,8 @@ func (rs Results) WriteJSON(w io.Writer) error {
 // csvHeader names the CSV columns, in Result field order.
 var csvHeader = []string{
 	"index", "strategy", "delay_us", "size_bytes", "irq", "queues", "seed",
-	"sleep_disabled", "latency_ns", "interrupts", "intr_per_msg",
-	"rate_msg_per_sec", "rate_intr_per_sec", "error",
+	"sleep_disabled", "nodes", "bg_streams", "latency_ns", "interrupts",
+	"intr_per_msg", "rate_msg_per_sec", "rate_intr_per_sec", "error",
 }
 
 // WriteCSV writes the results as comma-separated values with a header row.
@@ -76,6 +80,7 @@ func (rs Results) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Index), r.Strategy, f(r.DelayUS),
 			strconv.Itoa(r.SizeBytes), r.IRQ, strconv.Itoa(r.Queues),
 			strconv.FormatUint(r.Seed, 10), strconv.FormatBool(r.SleepDisabled),
+			strconv.Itoa(r.Nodes), strconv.Itoa(r.BgStreams),
 			strconv.FormatInt(r.LatencyNS, 10),
 			strconv.FormatUint(r.Interrupts, 10), f(r.IntrPerMsg),
 			f(r.RateMsgPerSec), f(r.RateIntrPerSec),

@@ -21,6 +21,14 @@ func Run(g Grid, workers int) (Results, error) {
 		if p.Size < 0 {
 			return nil, fmt.Errorf("sweep: point %d: negative message size %d", p.Index, p.Size)
 		}
+		if p.BgStreams < 0 {
+			return nil, fmt.Errorf("sweep: point %d: negative background stream count %d", p.Index, p.BgStreams)
+		}
+		// normalized() fills an empty Nodes axis with the default, so any
+		// sub-2 value here was explicit user input, not "unset".
+		if p.Nodes < 2 {
+			return nil, fmt.Errorf("sweep: point %d: node count %d (the ping-pong needs two nodes)", p.Index, p.Nodes)
+		}
 		if err := p.Config().Validate(); err != nil {
 			return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 		}
@@ -57,6 +65,7 @@ func Run(g Grid, workers int) (Results, error) {
 // cluster. A panic inside the simulator is converted into Result.Err so a
 // single bad point cannot take down a long sweep.
 func runPoint(g Grid, p Point) (res Result) {
+	cfg := p.Config()
 	res = Result{
 		Index:         p.Index,
 		Strategy:      p.Strategy.String(),
@@ -66,6 +75,8 @@ func runPoint(g Grid, p Point) (res Result) {
 		Queues:        p.Queues,
 		Seed:          p.Seed,
 		SleepDisabled: p.SleepDisabled,
+		Nodes:         cfg.Nodes, // effective count, after the bg raise
+		BgStreams:     p.BgStreams,
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -73,7 +84,7 @@ func runPoint(g Grid, p Point) (res Result) {
 		}
 	}()
 
-	lat, intr, msgs, err := RunPingPong(p.Config(), []int{p.Size}, g.Iters)
+	lat, intr, msgs, err := RunPingPongLoaded(cfg, []int{p.Size}, g.Iters, Background{Streams: p.BgStreams})
 	if err != nil {
 		res.Err = err.Error()
 		return res
@@ -86,7 +97,7 @@ func runPoint(g Grid, p Point) (res Result) {
 
 	if g.Rate {
 		sr := RunStream(StreamSpec{
-			Cluster: p.Config(), Size: p.Size,
+			Cluster: cfg, Size: p.Size,
 			Warmup: g.RateWarmup, Measure: g.RateMeasure,
 		})
 		res.RateMsgPerSec = sr.Rate

@@ -74,23 +74,30 @@ func RunStream(spec StreamSpec) StreamResult {
 		}
 	})
 
-	var startCount int
-	var startIntr, startWake uint64
-	cl.Eng.Schedule(spec.Warmup, func() {
-		startCount = received
-		startIntr = cl.NICs[1].Stats.Interrupts
-		startWake = cl.Hosts[1].Stats().Wakeups
-	})
-	cl.Eng.RunUntil(spec.Warmup + spec.Measure)
-
-	got := received - startCount
+	got, intr, wake := measureWindow(cl, 1, spec.Warmup, spec.Measure, &received)
 	secs := float64(spec.Measure) / 1e9
-	intr := cl.NICs[1].Stats.Interrupts - startIntr
 	return StreamResult{
 		Rate:       float64(got) / secs,
 		Interrupts: intr,
 		IntrRate:   float64(intr) / secs,
-		Wakeups:    cl.Hosts[1].Stats().Wakeups - startWake,
+		Wakeups:    wake,
 		Received:   got,
 	}
+}
+
+// measureWindow runs the engine through warmup+measure virtual time and
+// returns the receiving node's message/interrupt/wakeup deltas over the
+// measurement window (shared by the stream and incast harnesses).
+func measureWindow(cl *cluster.Cluster, node int, warmup, measure sim.Time, received *int) (got int, intr, wake uint64) {
+	var startCount int
+	var startIntr, startWake uint64
+	cl.Eng.Schedule(warmup, func() {
+		startCount = *received
+		startIntr = cl.NICs[node].Stats.Interrupts
+		startWake = cl.Hosts[node].Stats().Wakeups
+	})
+	cl.Eng.RunUntil(warmup + measure)
+	return *received - startCount,
+		cl.NICs[node].Stats.Interrupts - startIntr,
+		cl.Hosts[node].Stats().Wakeups - startWake
 }

@@ -38,11 +38,22 @@ type Grid struct {
 	// SleepDisabled optionally sweeps the C1E idle-sleep switch
 	// (false = sleep possible, the platform default).
 	SleepDisabled []bool
+	// Nodes is the cluster-size axis (default 2, the paper's testbed).
+	// The ping-pong still runs between nodes 0 and 1; extra nodes carry
+	// background load when the BgStreams axis is non-zero.
+	Nodes []int
+	// BgStreams is the background-load axis: the number of bulk senders
+	// (one per extra node) congesting the ping-pong receiver's port. A
+	// point's node count is raised to 2+streams when too small.
+	BgStreams []int
 
 	// Iters is the ping-pong iteration count per point (default 30).
 	Iters int
 	// Rate additionally measures the unidirectional message rate at every
-	// point (a second cluster per point; roughly doubles the cost).
+	// point (a second cluster per point; roughly doubles the cost). The
+	// rate stream runs unloaded — the BgStreams axis applies to the
+	// ping-pong latency measurement only — so rate columns isolate the
+	// strategy/delay axes at any background level.
 	Rate bool
 	// RateWarmup and RateMeasure bound the rate measurement windows
 	// (defaults 10 ms and 50 ms of virtual time, matching the single-shot
@@ -60,6 +71,8 @@ type Point struct {
 	Queues        int
 	Seed          uint64
 	SleepDisabled bool
+	Nodes         int
+	BgStreams     int
 }
 
 // Config builds the cluster configuration for the point: the paper
@@ -72,6 +85,12 @@ func (p Point) Config() cluster.Config {
 	cfg.Queues = p.Queues
 	cfg.Seed = p.Seed
 	cfg.SleepDisabled = p.SleepDisabled
+	if p.Nodes > 0 {
+		cfg.Nodes = p.Nodes
+	}
+	if min := 2 + p.BgStreams; cfg.Nodes < min {
+		cfg.Nodes = min // background senders need a node each
+	}
 	return cfg
 }
 
@@ -100,6 +119,12 @@ func (g Grid) normalized() Grid {
 	if len(g.SleepDisabled) == 0 {
 		g.SleepDisabled = []bool{false}
 	}
+	if len(g.Nodes) == 0 {
+		g.Nodes = []int{def.Nodes}
+	}
+	if len(g.BgStreams) == 0 {
+		g.BgStreams = []int{0}
+	}
 	if g.Iters <= 0 {
 		g.Iters = 30
 	}
@@ -116,11 +141,13 @@ func (g Grid) normalized() Grid {
 func (g Grid) Size() int {
 	g = g.normalized()
 	return len(g.Strategies) * len(g.Delays) * len(g.Sizes) *
-		len(g.IRQ) * len(g.Queues) * len(g.Seeds) * len(g.SleepDisabled)
+		len(g.IRQ) * len(g.Queues) * len(g.Seeds) * len(g.SleepDisabled) *
+		len(g.Nodes) * len(g.BgStreams)
 }
 
 // Points expands the cartesian product in deterministic order: seed
-// outermost, then strategy, delay, size, IRQ policy, queue count, sleep.
+// outermost, then strategy, delay, size, IRQ policy, queue count, sleep,
+// node count, background streams.
 func (g Grid) Points() []Point {
 	g = g.normalized()
 	pts := make([]Point, 0, g.Size())
@@ -131,16 +158,22 @@ func (g Grid) Points() []Point {
 					for _, irq := range g.IRQ {
 						for _, q := range g.Queues {
 							for _, sl := range g.SleepDisabled {
-								pts = append(pts, Point{
-									Index:         len(pts),
-									Strategy:      st,
-									Delay:         d,
-									Size:          size,
-									IRQ:           irq,
-									Queues:        q,
-									Seed:          seed,
-									SleepDisabled: sl,
-								})
+								for _, nodes := range g.Nodes {
+									for _, bg := range g.BgStreams {
+										pts = append(pts, Point{
+											Index:         len(pts),
+											Strategy:      st,
+											Delay:         d,
+											Size:          size,
+											IRQ:           irq,
+											Queues:        q,
+											Seed:          seed,
+											SleepDisabled: sl,
+											Nodes:         nodes,
+											BgStreams:     bg,
+										})
+									}
+								}
 							}
 						}
 					}

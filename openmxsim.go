@@ -20,6 +20,7 @@ package openmxsim
 import (
 	"openmxsim/internal/cluster"
 	"openmxsim/internal/exp"
+	"openmxsim/internal/fabric"
 	"openmxsim/internal/mpi"
 	"openmxsim/internal/nas"
 	"openmxsim/internal/nic"
@@ -79,6 +80,25 @@ func NewCluster(cfg Config) *Cluster { return cluster.New(cfg) }
 // modified copy to Config.Params to explore the design space.
 func DefaultParams() *params.Params { return params.Default() }
 
+// Topology selects the fabric switching model for Config.Topology: the
+// zero value is the paper's ideal direct link, TopologyOutputQueued an
+// output-queued switch with bounded drop-tail egress queues and per-port
+// occupancy/drop/latency statistics for N-node congestion scenarios.
+type Topology = fabric.Topology
+
+// PortStats are the switch's per-egress-port counters (see Cluster.PortStats).
+type PortStats = fabric.PortStats
+
+// Fabric topology kinds and queue disciplines.
+const (
+	// TopologyDirect is the legacy ideal model (unbounded egress).
+	TopologyDirect = fabric.TopologyDirect
+	// TopologyOutputQueued bounds each egress port with a FIFO queue.
+	TopologyOutputQueued = fabric.TopologyOutputQueued
+	// DropTail rejects arrivals at a full egress queue.
+	DropTail = fabric.DropTail
+)
+
 // NewWorld opens ranksPerNode endpoints per node on a fresh cluster and
 // returns the MPI world spanning them.
 func NewWorld(cfg Config, ranksPerNode int) (*Cluster, *mpi.World) {
@@ -112,6 +132,28 @@ func PingPong(cfg Config, sizes []int, iters int) (map[int]Time, error) {
 func MessageRate(cfg Config, size int, warmup, measure Time) float64 {
 	return exp.MessageRate(cfg, size, warmup, measure)
 }
+
+// Background describes bulk streams congesting the ping-pong receiver's
+// switch port (one sender per extra node).
+type Background = sweep.Background
+
+// PingPongLoaded is PingPong under background congestion: bg.Streams bulk
+// senders on extra nodes share node 1's port with the latency-sensitive
+// ping-pong. With bg.Streams == 0 it is exactly PingPong.
+func PingPongLoaded(cfg Config, sizes []int, iters int, bg Background) (map[int]Time, error) {
+	lat, _, _, err := sweep.RunPingPongLoaded(cfg, sizes, iters, bg)
+	return lat, err
+}
+
+// IncastSpec describes an N-to-1 fan-in measurement; IncastResult is the
+// receiver-side outcome, including switch-port congestion counters.
+type (
+	IncastSpec   = sweep.IncastSpec
+	IncastResult = sweep.IncastResult
+)
+
+// Incast runs an N-to-1 fan-in measurement on a fresh cluster.
+func Incast(spec IncastSpec) IncastResult { return sweep.RunIncast(spec) }
 
 // NASResult is one NAS benchmark execution.
 type NASResult = nas.Result
