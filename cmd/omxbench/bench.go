@@ -4,14 +4,19 @@ package main
 // one full regeneration, the moral equivalent of `go test -bench -benchtime
 // 1x`) and write one machine-readable BENCH_<id>.json per experiment, so
 // every PR can record the simulator's performance trajectory. An optional
-// baseline file turns the run into a regression gate on allocs/op.
+// baseline file turns the run into a regression gate: allocation counts are
+// deterministic and therefore gate hard (exit non-zero), while wall time
+// varies with the machine and only warns. The comparison can also be
+// emitted as a Markdown table for CI job summaries.
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"openmxsim/internal/exp"
@@ -53,8 +58,9 @@ func measure(id string, runner exp.Runner, opts exp.Options, reps int) benchReco
 }
 
 // runBenchMode measures the given experiments, writes BENCH_<id>.json files
-// into outDir, and (with a baseline) enforces the allocs/op gate.
-func runBenchMode(ids []string, opts exp.Options, reps int, outDir, baselinePath string, maxRegress float64) error {
+// into outDir, and (with a baseline) enforces the allocs/op gate, warns on
+// ns/op regressions, and optionally writes a Markdown comparison table.
+func runBenchMode(ids []string, opts exp.Options, reps int, outDir, baselinePath string, maxRegress, maxTimeRegress float64, summaryPath string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -83,16 +89,29 @@ func runBenchMode(ids []string, opts exp.Options, reps int, outDir, baselinePath
 		}
 	}
 	if baselinePath == "" {
-		return nil
+		if summaryPath == "" {
+			return nil
+		}
+		// No baseline to compare against: the summary still gets the raw
+		// measurements rather than silently staying empty.
+		var md strings.Builder
+		md.WriteString("### Benchmark measurements (no baseline)\n\n")
+		md.WriteString("| experiment | ns/op | B/op | allocs/op |\n|---|---:|---:|---:|\n")
+		for _, rec := range records {
+			fmt.Fprintf(&md, "| %s | %d | %d | %d |\n", rec.ID, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+		}
+		return writeSummary(summaryPath, md.String())
 	}
-	return checkBaseline(records, baselinePath, maxRegress)
+	return checkBaseline(records, baselinePath, maxRegress, maxTimeRegress, summaryPath)
 }
 
 // checkBaseline fails when any experiment's allocs/op exceeds the baseline
-// by more than maxRegress (fractional). Wall time is not gated: it varies
-// with the machine, while allocation counts of a deterministic simulation
-// do not.
-func checkBaseline(records []benchRecord, path string, maxRegress float64) error {
+// by more than maxRegress (fractional). Wall time regressions beyond
+// maxTimeRegress only warn: runners vary, while allocation counts of a
+// deterministic simulation do not. When summaryPath is non-empty the full
+// comparison is also written there as a Markdown table (CI appends it to
+// the job summary).
+func checkBaseline(records []benchRecord, path string, maxRegress, maxTimeRegress float64, summaryPath string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("bench baseline: %w", err)
@@ -105,18 +124,55 @@ func checkBaseline(records []benchRecord, path string, maxRegress float64) error
 	for _, b := range base {
 		byID[b.ID] = b
 	}
-	var failures []string
+	var failures, warnings []string
+	var md strings.Builder
+	fmt.Fprintf(&md, "### Benchmark comparison vs `%s`\n\n", path)
+	md.WriteString("| experiment | ns/op | vs base | allocs/op | vs base | status |\n")
+	md.WriteString("|---|---:|---:|---:|---:|---|\n")
 	for _, rec := range records {
 		b, ok := byID[rec.ID]
 		if !ok || b.AllocsPerOp == 0 {
+			fmt.Fprintf(&md, "| %s | %d | — | %d | — | new |\n", rec.ID, rec.NsPerOp, rec.AllocsPerOp)
 			continue // new experiment or unusable baseline entry
 		}
-		limit := uint64(float64(b.AllocsPerOp) * (1 + maxRegress))
-		if rec.AllocsPerOp > limit {
-			failures = append(failures, fmt.Sprintf(
-				"%s: %d allocs/op vs baseline %d (limit %d)",
-				rec.ID, rec.AllocsPerOp, b.AllocsPerOp, limit))
+		allocRatio := float64(rec.AllocsPerOp) / float64(b.AllocsPerOp)
+		// A zero baseline ns_per_op (older or hand-edited snapshot) only
+		// disables the time comparison — the allocs gate still applies.
+		timeCell := "—"
+		timeRatio := 0.0
+		if b.NsPerOp > 0 {
+			timeRatio = float64(rec.NsPerOp) / float64(b.NsPerOp)
+			timeCell = fmt.Sprintf("%+.1f%%", (timeRatio-1)*100)
 		}
+		// The two gates are independent: an experiment can regress both, and
+		// the report must say so for both.
+		var statuses []string
+		if rec.AllocsPerOp > uint64(float64(b.AllocsPerOp)*(1+maxRegress)) {
+			statuses = append(statuses, "ALLOC REGRESSION")
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d allocs/op vs baseline %d (limit %.0f%%)",
+				rec.ID, rec.AllocsPerOp, b.AllocsPerOp, maxRegress*100))
+		}
+		if timeRatio > 1+maxTimeRegress {
+			statuses = append(statuses, "time regression (warning)")
+			warnings = append(warnings, fmt.Sprintf(
+				"%s: %d ns/op vs baseline %d (+%.0f%%, threshold +%.0f%%)",
+				rec.ID, rec.NsPerOp, b.NsPerOp, (timeRatio-1)*100, maxTimeRegress*100))
+		}
+		status := "ok"
+		if len(statuses) > 0 {
+			status = strings.Join(statuses, ", ")
+		}
+		fmt.Fprintf(&md, "| %s | %d | %s | %d | %+.1f%% | %s |\n",
+			rec.ID, rec.NsPerOp, timeCell, rec.AllocsPerOp, (allocRatio-1)*100, status)
+	}
+	if summaryPath != "" {
+		if err := writeSummary(summaryPath, md.String()); err != nil {
+			return err
+		}
+	}
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "TIME REGRESSION (warning):", w)
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -124,7 +180,30 @@ func checkBaseline(records []benchRecord, path string, maxRegress float64) error
 		}
 		return fmt.Errorf("bench: %d experiment(s) regressed allocs/op beyond %.0f%%", len(failures), maxRegress*100)
 	}
-	fmt.Fprintf(os.Stderr, "[bench baseline ok: %d experiments within %.0f%% of %s]\n",
-		len(records), maxRegress*100, path)
+	fmt.Fprintf(os.Stderr, "[bench baseline ok: %d experiments, %d time warnings, allocs within %.0f%% of %s]\n",
+		len(records), len(warnings), maxRegress*100, path)
 	return nil
+}
+
+// writeSummary appends markdown to the given file ("-" = stdout). Appending
+// (not truncating) matches $GITHUB_STEP_SUMMARY semantics when CI points it
+// straight at that file.
+func writeSummary(path, md string) error {
+	var w io.WriteCloser
+	if path == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		w = f
+	}
+	_, err := io.WriteString(w, md+"\n")
+	if path != "-" {
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -12,11 +12,17 @@
 //
 // Benchmark mode measures each experiment instead of printing its report,
 // writing machine-readable BENCH_<id>.json files (ns/op, B/op, allocs/op)
-// plus a combined BENCH_all.json, and optionally gates on a baseline:
+// plus a combined BENCH_all.json, and optionally gates on a baseline —
+// hard on allocs/op (deterministic), warn-only on ns/op (machine-bound):
 //
 //	omxbench -bench -quick                                  # measure all, write bench-out/
 //	omxbench -bench -quick -benchout dir -benchreps 3       # best of 3
-//	omxbench -bench -quick -baseline bench/BENCH_baseline.json  # fail on >20% allocs/op regression
+//	omxbench -bench -quick -baseline bench/BENCH_baseline.json  # fail >20% allocs/op, warn >10% ns/op
+//	omxbench -bench -quick -baseline ... -benchsummary "$GITHUB_STEP_SUMMARY"  # Markdown table for CI
+//
+// Every command accepts -sched wheel|heap to select the event scheduler
+// (the O(1) timing wheel is the default; the legacy 4-ary heap is kept for
+// differential runs — reports are bit-identical under either).
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"time"
 
 	"openmxsim/internal/exp"
+	"openmxsim/internal/sim"
 )
 
 func main() {
@@ -42,7 +49,15 @@ func main() {
 	benchReps := flag.Int("benchreps", 1, "runs per experiment in bench mode (fastest is reported)")
 	baseline := flag.String("baseline", "", "baseline BENCH_all.json to gate allocs/op against (bench mode)")
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional allocs/op regression vs baseline")
+	maxTimeRegress := flag.Float64("maxtimeregress", 0.10, "ns/op regression vs baseline that triggers a warning")
+	sched := flag.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) | heap (legacy 4-ary heap)")
+	summary := flag.String("benchsummary", "", "write a Markdown baseline-comparison table to this file (bench mode)")
 	flag.Parse()
+
+	if err := sim.SetDefaultSchedulerByName(*sched); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -61,7 +76,7 @@ func main() {
 	opts := exp.Options{Seed: *seed, Quick: *quick}
 
 	if *bench {
-		if err := runBenchMode(ids, opts, *benchReps, *benchOut, *baseline, *maxRegress); err != nil {
+		if err := runBenchMode(ids, opts, *benchReps, *benchOut, *baseline, *maxRegress, *maxTimeRegress, *summary); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

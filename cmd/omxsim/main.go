@@ -47,8 +47,14 @@ func main() {
 	bg := flag.Int("bg", 0, "background bulk streams congesting the receiver port (pingpong)")
 	qframes := flag.Int("qframes", 0, "switch egress queue bound in frames (0 = ideal unbounded port)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	sched := flag.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) | heap (legacy 4-ary heap)")
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
+
+	if err := sim.SetDefaultSchedulerByName(*sched); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	st, err := nic.ParseStrategy(*strategy)
 	if err != nil {

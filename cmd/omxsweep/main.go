@@ -53,7 +53,12 @@ func run() int {
 	csvOut := flag.String("csvout", "", "CSV output path ('-' = stdout, '' = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	sched := flag.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) | heap (legacy 4-ary heap)")
 	flag.Parse()
+
+	if err := sim.SetDefaultSchedulerByName(*sched); err != nil {
+		return fail(err)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// Under -race the full-registry differential is minutes of runtime for no
+// added interleaving coverage (experiments are single-goroutine); the
+// -short subset keeps the race job fast.
+const fullDiffRegistry = false

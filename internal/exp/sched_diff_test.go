@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"testing"
+
+	"openmxsim/internal/sim"
+)
+
+// TestReportsBitIdenticalAcrossSchedulers regenerates every registry
+// experiment under the timing-wheel scheduler and the legacy heap and
+// requires byte-identical reports: the scheduler swap must be invisible to
+// every model. Two seeds guard against a single lucky ordering. In -short
+// mode only the cheapest experiments run; the full registry runs in CI.
+func TestReportsBitIdenticalAcrossSchedulers(t *testing.T) {
+	ids := IDs()
+	if testing.Short() || !fullDiffRegistry {
+		ids = []string{"fig5", "table2", "table3", "sweep", "incast"}
+	}
+	seeds := []uint64{1, 7}
+	for _, id := range ids {
+		runner, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range seeds {
+			opts := Options{Seed: seed, Quick: true}
+
+			restore := sim.SetDefaultScheduler(sim.NewWheelScheduler)
+			wheelRep, err := runner(opts).JSON()
+			if err != nil {
+				t.Fatalf("%s seed %d (wheel): %v", id, seed, err)
+			}
+			sim.SetDefaultScheduler(sim.NewHeapScheduler)
+			heapRep, err := runner(opts).JSON()
+			sim.SetDefaultScheduler(restore)
+			if err != nil {
+				t.Fatalf("%s seed %d (heap): %v", id, seed, err)
+			}
+
+			if string(wheelRep) != string(heapRep) {
+				t.Errorf("%s seed %d: report differs between wheel and heap schedulers\nwheel: %s\nheap:  %s",
+					id, seed, wheelRep, heapRep)
+			}
+		}
+	}
+}

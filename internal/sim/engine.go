@@ -23,10 +23,22 @@
 //   - Callbacks never receive the firing *Event, so the common pattern
 //     "timer = nil at the top of the callback" is all that is required.
 //
-// The heap is an inlined 4-ary min-heap specialized to *Event: no
-// container/heap interface calls, no any-boxing, and cache-friendlier sift
-// paths than a binary heap for the pop-heavy workload of a packet-per-event
-// simulation.
+// # Scheduling
+//
+// The pending-event queue sits behind the Scheduler interface. The default
+// is a hierarchical timing wheel (see Wheel): a 4096-slot level at 1 ns
+// granularity and two 1024-slot levels at ~4 µs and ~4.2 ms — sized to the
+// simulation's dominant horizons, wire events a few ns..µs out and
+// coalescing timers tens of µs out — with a 4-ary overflow heap for events
+// beyond the ~4.3 s level-2 horizon. Scheduling is O(1) (bitwise slot placement plus an intrusive
+// list append) and dispatch is amortized O(1) (bitmap scans to the next
+// populated slot; same-instant bursts drain from the cursor's slot with no
+// rescan, so Engine.Step dispatches them back-to-back). Events cascade down
+// at most two levels as the clock approaches them. The legacy single 4-ary
+// min-heap remains available via NewHeapScheduler / SetDefaultScheduler for
+// differential testing; both schedulers pop live events in the identical
+// (at, seq) total order, so reports are bit-identical under either — the
+// determinism argument lives with the Wheel type.
 package sim
 
 import (
@@ -49,11 +61,14 @@ const (
 // interrupt fires early). See the package comment for the handle lifetime
 // rules: an Event is recycled once it fires or its cancellation is observed.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	afn       func(any)
-	arg       any
+	at  Time
+	seq uint64
+	fn  func()
+	afn func(any)
+	arg any
+	// next threads the intrusive FIFO of a timing-wheel slot. It is owned
+	// by whichever scheduler currently queues the event.
+	next      *Event
 	cancelled bool
 }
 
@@ -72,8 +87,12 @@ func (ev *Event) Cancel() { ev.cancelled = true }
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; the process layer (internal/proc) serializes all access.
 type Engine struct {
-	now     Time
-	heap    []*Event
+	now   Time
+	sched Scheduler
+	// wheel mirrors sched when it is the default timing wheel, so the
+	// per-event push/pop calls on the hot path are concrete (inlinable)
+	// rather than interface dispatches. It is nil for other schedulers.
+	wheel   *Wheel
 	free    []*Event
 	seq     uint64
 	stopped bool
@@ -84,9 +103,41 @@ type Engine struct {
 	Limit uint64
 }
 
-// NewEngine returns an engine with the clock at zero.
+// NewEngine returns an engine with the clock at zero, using the default
+// scheduler (the timing wheel, unless SetDefaultScheduler changed it).
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineWithScheduler(newDefaultScheduler())
+}
+
+// NewEngineWithScheduler returns an engine backed by the given scheduler.
+// The engine takes ownership: the scheduler must be fresh and must not be
+// shared.
+func NewEngineWithScheduler(s Scheduler) *Engine {
+	e := &Engine{sched: s}
+	e.wheel, _ = s.(*Wheel)
+	s.Bind(e)
+	return e
+}
+
+// push enqueues a stamped event, preferring the concrete wheel path.
+func (e *Engine) push(ev *Event) {
+	if e.wheel != nil {
+		e.wheel.Push(ev)
+	} else {
+		e.sched.Push(ev)
+	}
+}
+
+// popLE dequeues the next live event at or before t (maxHorizon = no bound),
+// preferring the concrete wheel path.
+func (e *Engine) popLE(t Time) *Event {
+	if e.wheel != nil {
+		return e.wheel.popLE(t)
+	}
+	if t == maxHorizon {
+		return e.sched.Pop()
+	}
+	return e.sched.PopLE(t)
 }
 
 // Now returns the current virtual time.
@@ -94,15 +145,14 @@ func (e *Engine) Now() Time { return e.now }
 
 // Pending returns the number of events still scheduled (including cancelled
 // events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.sched.Len() }
 
-// alloc takes an Event from the free list (or the Go heap when empty),
-// stamps it, and pushes it onto the queue.
+// alloc takes an Event from the free list (or the Go heap when empty) and
+// stamps it.
 func (e *Engine) alloc(at Time) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
-		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
 		ev = &Event{}
@@ -115,7 +165,9 @@ func (e *Engine) alloc(at Time) *Event {
 }
 
 // release recycles a fired or discarded event. Callback references are
-// cleared so the free list never pins driver state for the GC.
+// cleared so the free list never pins driver state for the GC; the next
+// link is left stale on purpose — every consumer (list append, alloc)
+// overwrites it before use.
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
 	ev.afn = nil
@@ -167,31 +219,34 @@ func (e *Engine) AfterArg(d Time, fn func(any), arg any) *Event {
 }
 
 // Step runs the next event, if any, advancing the clock to it. It reports
-// whether an event ran.
+// whether an event ran. The scheduler discards cancelled events internally,
+// so every event Step sees is live; same-instant bursts come off the
+// wheel's current slot without a queue rescan.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		ev := e.pop()
-		if ev.cancelled {
-			e.release(ev)
-			continue
-		}
-		e.now = ev.at
-		e.Executed++
-		if e.Limit > 0 && e.Executed > e.Limit {
-			panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.Limit, e.now))
-		}
-		fn, afn, arg := ev.fn, ev.afn, ev.arg
-		if fn != nil {
-			fn()
-		} else {
-			afn(arg)
-		}
-		// Recycle only after the callback: handles held by driver state are
-		// cleared inside the callback itself, so reuse cannot race them.
-		e.release(ev)
-		return true
+	ev := e.popLE(maxHorizon)
+	if ev == nil {
+		return false
 	}
-	return false
+	e.runEvent(ev)
+	return true
+}
+
+// runEvent advances the clock to a popped event and fires its callback.
+func (e *Engine) runEvent(ev *Event) {
+	e.now = ev.at
+	e.Executed++
+	if e.Limit > 0 && e.Executed > e.Limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%d", e.Limit, e.now))
+	}
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+	// Recycle only after the callback: handles held by driver state are
+	// cleared inside the callback itself, so reuse cannot race them.
+	e.release(ev)
 }
 
 // Run processes events until the queue is empty or Stop is called.
@@ -206,11 +261,11 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.peek()
-		if ev == nil || ev.at > t {
+		ev := e.popLE(t)
+		if ev == nil {
 			break
 		}
-		e.Step()
+		e.runEvent(ev)
 	}
 	if e.now < t {
 		e.now = t
@@ -219,87 +274,3 @@ func (e *Engine) RunUntil(t Time) {
 
 // Stop makes the innermost Run/RunUntil return after the current event.
 func (e *Engine) Stop() { e.stopped = true }
-
-// peek returns the next live event without running it. Cancelled heads are
-// popped and recycled here: returning one would hand RunUntil a timestamp
-// that never fires and terminate it early.
-func (e *Engine) peek() *Event {
-	for len(e.heap) > 0 && e.heap[0].cancelled {
-		e.release(e.pop())
-	}
-	if len(e.heap) == 0 {
-		return nil
-	}
-	return e.heap[0]
-}
-
-// The queue is a 4-ary min-heap ordered by (time, sequence), giving FIFO
-// order at equal timestamps. Methods are specialized to *Event so Push/Pop
-// compile to direct slice operations with no interface dispatch.
-
-// before reports strict heap order between two events. (at, seq) pairs are
-// unique, so the order is total and the heap minimum is deterministic.
-func before(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(ev *Event) {
-	i := len(e.heap)
-	e.heap = append(e.heap, ev)
-	for i > 0 {
-		p := (i - 1) >> 2
-		pe := e.heap[p]
-		if before(pe, ev) {
-			break
-		}
-		e.heap[i] = pe
-		i = p
-	}
-	e.heap[i] = ev
-}
-
-func (e *Engine) pop() *Event {
-	h := e.heap
-	root := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h[n] = nil
-	e.heap = h[:n]
-	if n > 0 {
-		e.siftDown(last)
-	}
-	return root
-}
-
-// siftDown places ev, displaced from the root by a pop, back into heap
-// position.
-func (e *Engine) siftDown(ev *Event) {
-	h := e.heap
-	n := len(h)
-	i := 0
-	for {
-		c := i<<2 + 1
-		if c >= n {
-			break
-		}
-		m, me := c, h[c]
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if je := h[j]; before(je, me) {
-				m, me = j, je
-			}
-		}
-		if before(ev, me) {
-			break
-		}
-		h[i] = me
-		i = m
-	}
-	h[i] = ev
-}

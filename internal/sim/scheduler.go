@@ -1,0 +1,221 @@
+package sim
+
+import "fmt"
+
+// Scheduler is the engine's pending-event queue. Implementations must pop
+// live (non-cancelled) events in strict (at, seq) order — time first, then
+// scheduling order — which is the total order that makes every simulation
+// bit-reproducible. Two implementations ship with the package:
+//
+//   - NewWheelScheduler: a hierarchical timing wheel (calendar queue) with
+//     O(1) scheduling and amortized O(1) dispatch. The default.
+//   - NewHeapScheduler: the legacy inlined 4-ary min-heap, kept selectable
+//     for differential testing against the wheel.
+//
+// A Scheduler is owned by exactly one Engine and is not safe for concurrent
+// use. Cancelled events are discarded lazily: Pop and Peek release them to
+// the engine's free list (via the Bind callback) as they are encountered,
+// and Len counts them until then.
+type Scheduler interface {
+	// Push inserts an event. The engine guarantees ev.at is never earlier
+	// than the timestamp of the last event returned by Pop.
+	Push(ev *Event)
+	// Pop removes and returns the minimum live event, or nil when no live
+	// events remain.
+	Pop() *Event
+	// PopLE is Pop bounded by a horizon: it removes and returns the minimum
+	// live event only if its timestamp is <= t, and returns nil (leaving
+	// the event queued) otherwise. It is RunUntil's workhorse — one bounded
+	// search per event instead of a peek-then-pop pair.
+	PopLE(t Time) *Event
+	// Peek returns the minimum live event without removing it, or nil when
+	// no live events remain. It may discard cancelled events as a side
+	// effect but must not reorder or drop live ones.
+	Peek() *Event
+	// Len reports the number of queued events, including cancelled events
+	// that have not yet been discarded.
+	Len() int
+	// Bind attaches the scheduler to its owning engine (event arena and
+	// recycler). The engine calls it exactly once, before any Push.
+	Bind(e *Engine)
+}
+
+// newDefaultScheduler is what NewEngine installs. It is a package-level
+// knob (see SetDefaultScheduler) so differential harnesses — and the
+// -sched flag on the commands — can run entire experiments under the
+// legacy heap without threading a parameter through every constructor.
+var newDefaultScheduler = NewWheelScheduler
+
+// SetDefaultScheduler changes the scheduler constructor used by NewEngine
+// and returns the previous one so callers can restore it. Passing nil
+// restores the built-in default (the timing wheel). It must not be called
+// concurrently with NewEngine; set it once at process or test start.
+func SetDefaultScheduler(f func() Scheduler) func() Scheduler {
+	prev := newDefaultScheduler
+	if f == nil {
+		f = NewWheelScheduler
+	}
+	newDefaultScheduler = f
+	return prev
+}
+
+// SetDefaultSchedulerByName is the command-line shorthand the omx*
+// binaries share for their -sched flag: resolve a scheduler name and
+// install it as the NewEngine default.
+func SetDefaultSchedulerByName(name string) error {
+	f, err := SchedulerByName(name)
+	if err != nil {
+		return err
+	}
+	SetDefaultScheduler(f)
+	return nil
+}
+
+// SchedulerByName resolves a scheduler constructor from its command-line
+// name: "wheel" (the default) or "heap" (the legacy 4-ary min-heap).
+func SchedulerByName(name string) (func() Scheduler, error) {
+	switch name {
+	case "", "wheel":
+		return NewWheelScheduler, nil
+	case "heap":
+		return NewHeapScheduler, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheduler %q (known: wheel, heap)", name)
+	}
+}
+
+// before reports strict queue order between two events. (at, seq) pairs are
+// unique, so the order is total and the queue minimum is deterministic.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heap4 is an inlined 4-ary min-heap ordered by (time, sequence), giving
+// FIFO order at equal timestamps. Methods are specialized to *Event so
+// push/pop compile to direct slice operations with no interface dispatch,
+// and a 4-way branch keeps the tree half as deep as a binary heap for the
+// pop-heavy workload of a packet-per-event simulation. It backs the legacy
+// scheduler and the timing wheel's far-future overflow queue.
+type heap4 struct {
+	evs []*Event
+}
+
+func (h *heap4) len() int { return len(h.evs) }
+
+func (h *heap4) peek() *Event {
+	if len(h.evs) == 0 {
+		return nil
+	}
+	return h.evs[0]
+}
+
+func (h *heap4) push(ev *Event) {
+	i := len(h.evs)
+	h.evs = append(h.evs, ev)
+	for i > 0 {
+		p := (i - 1) >> 2
+		pe := h.evs[p]
+		if before(pe, ev) {
+			break
+		}
+		h.evs[i] = pe
+		i = p
+	}
+	h.evs[i] = ev
+}
+
+func (h *heap4) pop() *Event {
+	if len(h.evs) == 0 {
+		return nil
+	}
+	evs := h.evs
+	root := evs[0]
+	n := len(evs) - 1
+	last := evs[n]
+	evs[n] = nil
+	h.evs = evs[:n]
+	if n > 0 {
+		h.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places ev, displaced from the root by a pop, back into heap
+// position.
+func (h *heap4) siftDown(ev *Event) {
+	evs := h.evs
+	n := len(evs)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m, me := c, evs[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if je := evs[j]; before(je, me) {
+				m, me = j, je
+			}
+		}
+		if before(ev, me) {
+			break
+		}
+		evs[i] = me
+		i = m
+	}
+	evs[i] = ev
+}
+
+// heapSched is the legacy scheduler: one 4-ary min-heap over all pending
+// events. O(log n) per operation.
+type heapSched struct {
+	h   heap4
+	eng *Engine
+}
+
+// NewHeapScheduler returns the legacy 4-ary min-heap scheduler.
+func NewHeapScheduler() Scheduler { return &heapSched{} }
+
+func (s *heapSched) Bind(e *Engine) { s.eng = e }
+
+func (s *heapSched) Push(ev *Event) { s.h.push(ev) }
+
+func (s *heapSched) Pop() *Event {
+	for {
+		ev := s.h.pop()
+		if ev == nil || !ev.cancelled {
+			return ev
+		}
+		s.eng.release(ev)
+	}
+}
+
+func (s *heapSched) PopLE(t Time) *Event {
+	ev := s.Peek()
+	if ev == nil || ev.at > t {
+		return nil
+	}
+	return s.h.pop()
+}
+
+// Peek discards cancelled heads as it goes: returning one would hand
+// RunUntil a timestamp that never fires and terminate it early.
+func (s *heapSched) Peek() *Event {
+	for {
+		ev := s.h.peek()
+		if ev == nil || !ev.cancelled {
+			return ev
+		}
+		s.h.pop()
+		s.eng.release(ev)
+	}
+}
+
+func (s *heapSched) Len() int { return s.h.len() }

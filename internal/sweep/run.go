@@ -41,30 +41,45 @@ func Run(g Grid, workers int) (Results, error) {
 	}
 
 	results := make(Results, len(pts))
-	jobs := make(chan int)
+	// The jobs channel is buffered to the full point count and filled
+	// before any worker starts: dispatch is a single non-blocking drain, so
+	// a worker never stalls on handoff with a producer goroutine (an
+	// unbuffered channel would serialize every job with the producer's
+	// send, which dominates short points on wide machines).
+	jobs := make(chan int, len(pts))
+	for i := range pts {
+		jobs <- i
+	}
+	close(jobs)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker reusable scratch: runPoint needs a one-element
+			// size slice per point; reusing the worker's buffer keeps the
+			// dispatch loop allocation-free.
+			var scratch pointScratch
 			for i := range jobs {
-				results[i] = runPoint(g, pts[i])
+				results[i] = runPoint(g, pts[i], &scratch)
 			}
 		}()
 	}
-	for i := range pts {
-		jobs <- i
-	}
-	close(jobs)
 	wg.Wait()
 	return results, nil
+}
+
+// pointScratch is per-worker reusable state for runPoint. Workers own one
+// each, so nothing here is shared or locked.
+type pointScratch struct {
+	sizes [1]int
 }
 
 // runPoint executes one point: a ping-pong latency measurement, and
 // optionally a unidirectional message-rate measurement on a second
 // cluster. A panic inside the simulator is converted into Result.Err so a
 // single bad point cannot take down a long sweep.
-func runPoint(g Grid, p Point) (res Result) {
+func runPoint(g Grid, p Point, scratch *pointScratch) (res Result) {
 	cfg := p.Config()
 	res = Result{
 		Index:         p.Index,
@@ -84,7 +99,8 @@ func runPoint(g Grid, p Point) (res Result) {
 		}
 	}()
 
-	lat, intr, msgs, err := RunPingPongLoaded(cfg, []int{p.Size}, g.Iters, Background{Streams: p.BgStreams})
+	scratch.sizes[0] = p.Size
+	lat, intr, msgs, err := RunPingPongLoaded(cfg, scratch.sizes[:], g.Iters, Background{Streams: p.BgStreams})
 	if err != nil {
 		res.Err = err.Error()
 		return res
