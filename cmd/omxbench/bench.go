@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -97,9 +98,15 @@ func runBenchMode(ids []string, opts exp.Options, reps int, outDir, baselinePath
 		var md strings.Builder
 		md.WriteString("### Benchmark measurements (no baseline)\n\n")
 		md.WriteString("| experiment | ns/op | B/op | allocs/op |\n|---|---:|---:|---:|\n")
+		var ns, bs, allocs []float64
 		for _, rec := range records {
 			fmt.Fprintf(&md, "| %s | %d | %d | %d |\n", rec.ID, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+			ns = append(ns, float64(rec.NsPerOp))
+			bs = append(bs, float64(rec.BytesPerOp))
+			allocs = append(allocs, float64(rec.AllocsPerOp))
 		}
+		fmt.Fprintf(&md, "| **geomean** | %.0f | %.0f | %.0f |\n",
+			geomean(ns), geomean(bs), geomean(allocs))
 		return writeSummary(summaryPath, md.String())
 	}
 	return checkBaseline(records, baselinePath, maxRegress, maxTimeRegress, summaryPath)
@@ -125,6 +132,7 @@ func checkBaseline(records []benchRecord, path string, maxRegress, maxTimeRegres
 		byID[b.ID] = b
 	}
 	var failures, warnings []string
+	var timeRatios, allocRatios []float64
 	var md strings.Builder
 	fmt.Fprintf(&md, "### Benchmark comparison vs `%s`\n\n", path)
 	md.WriteString("| experiment | ns/op | vs base | allocs/op | vs base | status |\n")
@@ -136,6 +144,7 @@ func checkBaseline(records []benchRecord, path string, maxRegress, maxTimeRegres
 			continue // new experiment or unusable baseline entry
 		}
 		allocRatio := float64(rec.AllocsPerOp) / float64(b.AllocsPerOp)
+		allocRatios = append(allocRatios, allocRatio)
 		// A zero baseline ns_per_op (older or hand-edited snapshot) only
 		// disables the time comparison — the allocs gate still applies.
 		timeCell := "—"
@@ -143,6 +152,7 @@ func checkBaseline(records []benchRecord, path string, maxRegress, maxTimeRegres
 		if b.NsPerOp > 0 {
 			timeRatio = float64(rec.NsPerOp) / float64(b.NsPerOp)
 			timeCell = fmt.Sprintf("%+.1f%%", (timeRatio-1)*100)
+			timeRatios = append(timeRatios, timeRatio)
 		}
 		// The two gates are independent: an experiment can regress both, and
 		// the report must say so for both.
@@ -166,6 +176,18 @@ func checkBaseline(records []benchRecord, path string, maxRegress, maxTimeRegres
 		fmt.Fprintf(&md, "| %s | %d | %s | %d | %+.1f%% | %s |\n",
 			rec.ID, rec.NsPerOp, timeCell, rec.AllocsPerOp, (allocRatio-1)*100, status)
 	}
+	// The geomean row is the run's one headline number: the average
+	// multiplicative drift vs the baseline across all comparable
+	// experiments (geometric, so a 2x regression and a 2x win cancel).
+	timeGeo, allocGeo := "—", "—"
+	if len(timeRatios) > 0 {
+		timeGeo = fmt.Sprintf("%+.1f%%", (geomean(timeRatios)-1)*100)
+	}
+	if len(allocRatios) > 0 {
+		allocGeo = fmt.Sprintf("%+.1f%%", (geomean(allocRatios)-1)*100)
+	}
+	fmt.Fprintf(&md, "| **geomean** | — | %s | — | %s | %d of %d compared |\n",
+		timeGeo, allocGeo, len(allocRatios), len(records))
 	if summaryPath != "" {
 		if err := writeSummary(summaryPath, md.String()); err != nil {
 			return err
@@ -183,6 +205,22 @@ func checkBaseline(records []benchRecord, path string, maxRegress, maxTimeRegres
 	fmt.Fprintf(os.Stderr, "[bench baseline ok: %d experiments, %d time warnings, allocs within %.0f%% of %s]\n",
 		len(records), len(warnings), maxRegress*100, path)
 	return nil
+}
+
+// geomean returns the geometric mean of vs (0 when empty; zero entries
+// would collapse the product and are skipped).
+func geomean(vs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
 }
 
 // writeSummary appends markdown to the given file ("-" = stdout). Appending

@@ -33,8 +33,8 @@ import (
 	"strings"
 	"time"
 
+	"openmxsim/internal/cliflag"
 	"openmxsim/internal/exp"
-	"openmxsim/internal/sim"
 )
 
 func main() {
@@ -50,11 +50,11 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline BENCH_all.json to gate allocs/op against (bench mode)")
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional allocs/op regression vs baseline")
 	maxTimeRegress := flag.Float64("maxtimeregress", 0.10, "ns/op regression vs baseline that triggers a warning")
-	sched := flag.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) | heap (legacy 4-ary heap)")
+	sched := cliflag.Sched()
 	summary := flag.String("benchsummary", "", "write a Markdown baseline-comparison table to this file (bench mode)")
 	flag.Parse()
 
-	if err := sim.SetDefaultSchedulerByName(*sched); err != nil {
+	if err := cliflag.ApplySched(*sched); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

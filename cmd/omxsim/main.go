@@ -20,12 +20,12 @@ import (
 	"fmt"
 	"os"
 
+	"openmxsim/internal/cliflag"
 	"openmxsim/internal/cluster"
 	"openmxsim/internal/exp"
 	"openmxsim/internal/fabric"
 	"openmxsim/internal/host"
 	"openmxsim/internal/nas"
-	"openmxsim/internal/nic"
 	"openmxsim/internal/sim"
 	"openmxsim/internal/sweep"
 	"openmxsim/internal/units"
@@ -33,7 +33,7 @@ import (
 
 func main() {
 	workload := flag.String("workload", "pingpong", "pingpong | rate | incast | nas")
-	strategy := flag.String("strategy", "timeout", "disabled | timeout | openmx | stream | adaptive")
+	strategy := flag.String("strategy", "timeout", "disabled | timeout | openmx | stream | adaptive | feedback")
 	delay := flag.Int("delay", 75, "coalescing delay in microseconds")
 	size := flag.Int("size", 128, "message size in bytes (pingpong/rate/incast)")
 	iters := flag.Int("iters", 30, "ping-pong iterations")
@@ -47,16 +47,16 @@ func main() {
 	bg := flag.Int("bg", 0, "background bulk streams congesting the receiver port (pingpong)")
 	qframes := flag.Int("qframes", 0, "switch egress queue bound in frames (0 = ideal unbounded port)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	sched := flag.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) | heap (legacy 4-ary heap)")
+	sched := cliflag.Sched()
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
 
-	if err := sim.SetDefaultSchedulerByName(*sched); err != nil {
+	if err := cliflag.ApplySched(*sched); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	st, err := nic.ParseStrategy(*strategy)
+	st, err := cliflag.Strategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -64,7 +64,7 @@ func main() {
 	cfg := cluster.Paper()
 	cfg.Seed = *seed
 	cfg.Strategy = st
-	cfg.CoalesceDelay = sim.Time(*delay) * sim.Microsecond
+	cfg.CoalesceDelay = cliflag.DelayUS(*delay)
 	cfg.SleepDisabled = *nosleep
 	cfg.Queues = *queues
 	cfg.Nodes = *nodes

@@ -21,13 +21,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
-	"strings"
 	"time"
 
-	"openmxsim/internal/host"
-	"openmxsim/internal/nic"
-	"openmxsim/internal/sim"
+	"openmxsim/internal/cliflag"
 	"openmxsim/internal/sweep"
 )
 
@@ -53,10 +49,10 @@ func run() int {
 	csvOut := flag.String("csvout", "", "CSV output path ('-' = stdout, '' = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
-	sched := flag.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) | heap (legacy 4-ary heap)")
+	sched := cliflag.Sched()
 	flag.Parse()
 
-	if err := sim.SetDefaultSchedulerByName(*sched); err != nil {
+	if err := cliflag.ApplySched(*sched); err != nil {
 		return fail(err)
 	}
 
@@ -147,104 +143,36 @@ func emit(path string, fn func(w io.Writer) error) error {
 	return f.Close()
 }
 
+// buildGrid assembles the sweep grid from the axis flags via the shared
+// cliflag parsers (the same vocabulary as omxsim and omxtune).
 func buildGrid(strategies, delays, sizes, irq, queues, nodes, bg, seeds string) (sweep.Grid, error) {
 	var g sweep.Grid
-	for _, s := range split(strategies) {
-		st, err := nic.ParseStrategy(s)
-		if err != nil {
-			return g, err
-		}
-		g.Strategies = append(g.Strategies, st)
-	}
-	ds, err := parseDelays(delays)
-	if err != nil {
+	var err error
+	if g.Strategies, err = cliflag.Strategies(strategies); err != nil {
 		return g, err
 	}
-	g.Delays = ds
-	for _, s := range split(sizes) {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return g, fmt.Errorf("bad size %q: %v", s, err)
-		}
-		g.Sizes = append(g.Sizes, v)
+	if g.Delays, err = cliflag.Delays(delays); err != nil {
+		return g, err
 	}
-	for _, s := range split(irq) {
-		p, err := host.ParseIRQPolicy(s)
-		if err != nil {
-			return g, err
-		}
-		g.IRQ = append(g.IRQ, p)
+	if g.Sizes, err = cliflag.Ints(sizes, "size"); err != nil {
+		return g, err
 	}
-	for _, s := range split(queues) {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return g, fmt.Errorf("bad queue count %q: %v", s, err)
-		}
-		g.Queues = append(g.Queues, v)
+	if g.IRQ, err = cliflag.IRQPolicies(irq); err != nil {
+		return g, err
 	}
-	for _, s := range split(nodes) {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return g, fmt.Errorf("bad node count %q: %v", s, err)
-		}
-		g.Nodes = append(g.Nodes, v)
+	if g.Queues, err = cliflag.Ints(queues, "queue count"); err != nil {
+		return g, err
 	}
-	for _, s := range split(bg) {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return g, fmt.Errorf("bad background stream count %q: %v", s, err)
-		}
-		g.BgStreams = append(g.BgStreams, v)
+	if g.Nodes, err = cliflag.Ints(nodes, "node count"); err != nil {
+		return g, err
 	}
-	for _, s := range split(seeds) {
-		v, err := strconv.ParseUint(s, 10, 64)
-		if err != nil {
-			return g, fmt.Errorf("bad seed %q: %v", s, err)
-		}
-		g.Seeds = append(g.Seeds, v)
+	if g.BgStreams, err = cliflag.Ints(bg, "background stream count"); err != nil {
+		return g, err
+	}
+	if g.Seeds, err = cliflag.Uint64s(seeds, "seed"); err != nil {
+		return g, err
 	}
 	return g, nil
-}
-
-// parseDelays reads either a comma list ("25,75") or an inclusive range
-// with step ("0:100:25"), both in microseconds.
-func parseDelays(spec string) ([]sim.Time, error) {
-	if strings.Contains(spec, ":") {
-		parts := strings.Split(spec, ":")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("bad delay range %q, want lo:hi:step", spec)
-		}
-		lo, err1 := strconv.Atoi(parts[0])
-		hi, err2 := strconv.Atoi(parts[1])
-		step, err3 := strconv.Atoi(parts[2])
-		if err1 != nil || err2 != nil || err3 != nil || step <= 0 || hi < lo {
-			return nil, fmt.Errorf("bad delay range %q", spec)
-		}
-		var ds []sim.Time
-		for d := lo; d <= hi; d += step {
-			ds = append(ds, sim.Time(d)*sim.Microsecond)
-		}
-		return ds, nil
-	}
-	var ds []sim.Time
-	for _, s := range split(spec) {
-		v, err := strconv.Atoi(s)
-		if err != nil {
-			return nil, fmt.Errorf("bad delay %q: %v", s, err)
-		}
-		ds = append(ds, sim.Time(v)*sim.Microsecond)
-	}
-	return ds, nil
-}
-
-func split(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }
 
 // fail reports err and yields the failure exit code, letting deferred

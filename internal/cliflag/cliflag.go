@@ -1,0 +1,134 @@
+// Package cliflag centralizes the flag vocabulary shared by the omx*
+// commands (omxbench, omxsim, omxsweep, omxtune): the -sched scheduler
+// selector and the parsers for strategy, delay, IRQ-policy, and numeric
+// list flags. Before this package each command carried its own copy and
+// they had already drifted; a flag spelling accepted by one command is now
+// accepted by all of them.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"openmxsim/internal/host"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/sim"
+)
+
+// Sched registers the canonical -sched flag on the default flag set.
+func Sched() *string {
+	return flag.String("sched", "wheel", "event scheduler: wheel (timing wheel, default) | heap (legacy 4-ary heap)")
+}
+
+// ApplySched installs the named scheduler as the process default; call it
+// with the parsed -sched value before building any cluster.
+func ApplySched(name string) error {
+	return sim.SetDefaultSchedulerByName(name)
+}
+
+// Strategy parses a single coalescing-strategy name.
+func Strategy(name string) (nic.Strategy, error) {
+	return nic.ParseStrategy(name)
+}
+
+// Strategies parses a comma-separated strategy list.
+func Strategies(spec string) ([]nic.Strategy, error) {
+	var out []nic.Strategy
+	for _, s := range Split(spec) {
+		st, err := nic.ParseStrategy(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// DelayUS converts a microsecond count (the unit every delay flag uses)
+// into simulated time.
+func DelayUS(us int) sim.Time { return sim.Time(us) * sim.Microsecond }
+
+// Delays parses a delay axis in microseconds: either a comma list
+// ("25,75") or an inclusive lo:hi:step range ("0:100:25").
+func Delays(spec string) ([]sim.Time, error) {
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad delay range %q, want lo:hi:step", spec)
+		}
+		lo, err1 := strconv.Atoi(parts[0])
+		hi, err2 := strconv.Atoi(parts[1])
+		step, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || step <= 0 || hi < lo {
+			return nil, fmt.Errorf("bad delay range %q", spec)
+		}
+		var ds []sim.Time
+		for d := lo; d <= hi; d += step {
+			ds = append(ds, DelayUS(d))
+		}
+		return ds, nil
+	}
+	var ds []sim.Time
+	for _, s := range Split(spec) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad delay %q: %v", s, err)
+		}
+		ds = append(ds, DelayUS(v))
+	}
+	return ds, nil
+}
+
+// IRQPolicies parses a comma-separated IRQ-routing list.
+func IRQPolicies(spec string) ([]host.IRQPolicy, error) {
+	var out []host.IRQPolicy
+	for _, s := range Split(spec) {
+		p, err := host.ParseIRQPolicy(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Ints parses a comma-separated int list; what names the values in error
+// messages ("size", "queue count", ...).
+func Ints(spec, what string) ([]int, error) {
+	var out []int
+	for _, s := range Split(spec) {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s %q: %v", what, s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Uint64s parses a comma-separated uint64 list (seed axes).
+func Uint64s(spec, what string) ([]uint64, error) {
+	var out []uint64
+	for _, s := range Split(spec) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s %q: %v", what, s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Split breaks a comma-separated list, trimming blanks and dropping empty
+// entries.
+func Split(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package cliflag
+
+import (
+	"reflect"
+	"testing"
+
+	"openmxsim/internal/host"
+	"openmxsim/internal/nic"
+	"openmxsim/internal/sim"
+)
+
+func TestDelaysListAndRange(t *testing.T) {
+	got, err := Delays("25,75")
+	if err != nil || !reflect.DeepEqual(got, []sim.Time{25 * sim.Microsecond, 75 * sim.Microsecond}) {
+		t.Errorf("Delays list = %v, %v", got, err)
+	}
+	got, err = Delays("0:100:50")
+	want := []sim.Time{0, 50 * sim.Microsecond, 100 * sim.Microsecond}
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Errorf("Delays range = %v, %v; want %v", got, err, want)
+	}
+	for _, bad := range []string{"1:2", "5:1:1", "0:10:0", "0:10:-1", "a,b", "1:b:3"} {
+		if _, err := Delays(bad); err == nil {
+			t.Errorf("Delays(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStrategiesAndPolicies(t *testing.T) {
+	got, err := Strategies("openmx, stream")
+	if err != nil || !reflect.DeepEqual(got, []nic.Strategy{nic.StrategyOpenMX, nic.StrategyStream}) {
+		t.Errorf("Strategies = %v, %v", got, err)
+	}
+	if _, err := Strategies("openmx,bogus"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	ps, err := IRQPolicies("all,single-core")
+	if err != nil || !reflect.DeepEqual(ps, []host.IRQPolicy{host.IRQRoundRobin, host.IRQSingleCore}) {
+		t.Errorf("IRQPolicies = %v, %v", ps, err)
+	}
+}
+
+func TestNumericLists(t *testing.T) {
+	is, err := Ints("1, 128,4096", "size")
+	if err != nil || !reflect.DeepEqual(is, []int{1, 128, 4096}) {
+		t.Errorf("Ints = %v, %v", is, err)
+	}
+	if _, err := Ints("x", "size"); err == nil {
+		t.Error("bad int accepted")
+	}
+	us, err := Uint64s("1,7", "seed")
+	if err != nil || !reflect.DeepEqual(us, []uint64{1, 7}) {
+		t.Errorf("Uint64s = %v, %v", us, err)
+	}
+	if _, err := Uint64s("-1", "seed"); err == nil {
+		t.Error("negative seed accepted")
+	}
+}
+
+func TestSplitDropsBlanks(t *testing.T) {
+	if got := Split(" a, ,b,,c "); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Split = %v", got)
+	}
+	if got := Split(""); got != nil {
+		t.Errorf("Split(\"\") = %v, want nil", got)
+	}
+}

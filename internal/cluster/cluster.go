@@ -31,6 +31,11 @@ type Config struct {
 	CoalesceDelay sim.Time
 	// MaxFrames is the optional rx-frames coalescing bound.
 	MaxFrames int
+	// Feedback is the goal for StrategyFeedback (ignored by the other
+	// strategies; zero fields fall back to the params defaults). The
+	// tuner in internal/tune derives a goal from the chosen tradeoff
+	// point.
+	Feedback nic.FeedbackGoal
 	// Queues > 1 enables the multiqueue extension.
 	Queues int
 	// IRQPolicy and IRQCore set interrupt routing (default round-robin).
@@ -78,6 +83,12 @@ func (c Config) Validate() error {
 	}
 	if !c.Strategy.Known() {
 		return fmt.Errorf("cluster: unknown strategy %d", int(c.Strategy))
+	}
+	if c.Feedback.TargetIntrPerSec < 0 {
+		return fmt.Errorf("cluster: negative feedback interrupt-rate target %g", c.Feedback.TargetIntrPerSec)
+	}
+	if c.Feedback.MaxLatency < 0 {
+		return fmt.Errorf("cluster: negative feedback latency budget %d", c.Feedback.MaxLatency)
 	}
 	if err := c.Topology.Validate(); err != nil {
 		return err
@@ -159,6 +170,7 @@ func New(cfg Config) *Cluster {
 			Delay:     cfg.CoalesceDelay,
 			MaxFrames: cfg.MaxFrames,
 			Queues:    cfg.Queues,
+			Feedback:  cfg.Feedback,
 		})
 		s := omx.NewStack(eng, p, h, n, rng.Derive(stackRNGKey(i)))
 		s.SetFramePool(pool)

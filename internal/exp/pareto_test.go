@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func reportErrors(rep *Report) []string {
+	var errs []string
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "ERROR") {
+			errs = append(errs, n)
+		}
+	}
+	return errs
+}
+
+// TestParetoQuick checks the frontier experiment's shape: full grid in the
+// rows, at least one frontier point, exactly one knee, and the knee on the
+// frontier.
+func TestParetoQuick(t *testing.T) {
+	rep := Pareto(quick)
+	if errs := reportErrors(rep); len(errs) > 0 {
+		t.Fatalf("pareto reported %v", errs)
+	}
+	if len(rep.Rows) != 4*9 { // 4 strategies x 9 quick delays
+		t.Fatalf("rows = %d, want 36", len(rep.Rows))
+	}
+	frontier, knees := 0, 0
+	for _, row := range rep.Rows {
+		if row[4] == "*" {
+			frontier++
+		}
+		if row[5] == "knee" {
+			knees++
+			if row[4] != "*" {
+				t.Errorf("knee row %v not tagged as frontier", row)
+			}
+		}
+	}
+	if frontier == 0 {
+		t.Error("no frontier point tagged")
+	}
+	if knees != 1 {
+		t.Errorf("knee rows = %d, want exactly 1", knees)
+	}
+}
+
+// TestAutotuneQuick is the headline acceptance check: the budgeted search
+// must land on the exhaustive knee in at most 30% of the evaluations.
+func TestAutotuneQuick(t *testing.T) {
+	rep := Autotune(quick)
+	if errs := reportErrors(rep); len(errs) > 0 {
+		t.Fatalf("autotune reported %v", errs)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (exhaustive + search)", len(rep.Rows))
+	}
+	ex, se := rep.Rows[0], rep.Rows[1]
+	if ex[2] != se[2] || ex[3] != se[3] {
+		t.Errorf("search knee %s@%s differs from exhaustive %s@%s", se[2], se[3], ex[2], ex[3])
+	}
+	exEvals, seEvals := parseFloat(t, ex[1]), parseFloat(t, se[1])
+	if seEvals > 0.3*exEvals {
+		t.Errorf("search used %v evals, above 30%% of exhaustive %v", seEvals, exEvals)
+	}
+	matched := false
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "knee match: true") {
+			matched = true
+		}
+	}
+	if !matched {
+		t.Error("report does not state a knee match")
+	}
+}

@@ -32,6 +32,8 @@ var registry = []struct {
 	{"sweep", "parallel tradeoff grid: strategy x delay x size (Figs. 4-6 in one run)", Sweep},
 	{"incast", "N senders -> 1 receiver: rate and interrupts vs fan-in (shared-fabric extension)", Incast},
 	{"congested-pingpong", "Fig. 5 ping-pong with background bulk streams on the receiver port", CongestedPingPong},
+	{"pareto", "Pareto frontier of the fig4-6 tradeoff grid: dominated-point tagging + knee selection", Pareto},
+	{"autotune", "adaptive tradeoff search vs exhaustive frontier: same knee, fraction of the evaluations", Autotune},
 }
 
 // IDs lists experiment identifiers in run order.

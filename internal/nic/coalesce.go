@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"openmxsim/internal/host"
+	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
 )
 
@@ -28,9 +29,17 @@ const (
 	// StrategyAdaptive is the Section VI future-work extension: the
 	// timeout adapts to the observed packet rate.
 	StrategyAdaptive
+	// StrategyFeedback is the closed-loop tuner extension: the firmware
+	// measures its own interrupt rate and delivery latency over sliding
+	// windows and walks the delay toward a goal supplied by the tuner
+	// (internal/tune). Where StrategyAdaptive maps packet rate onto a
+	// delay by threshold, feedback goal-seeks: it converges to whatever
+	// delay holds the interrupt rate at the target without blowing the
+	// latency budget.
+	StrategyFeedback
 )
 
-var strategyNames = [...]string{"disabled", "timeout", "openmx", "stream", "adaptive"}
+var strategyNames = [...]string{"disabled", "timeout", "openmx", "stream", "adaptive", "feedback"}
 
 func (s Strategy) String() string {
 	if s >= 0 && int(s) < len(strategyNames) {
@@ -89,6 +98,30 @@ func newCoalescer(cfg Config, q *rxQueue) coalescer {
 			c.delay = p.AdaptiveMin
 		}
 		c.bindTimer()
+		return c
+	case StrategyFeedback:
+		p := q.nic.p.NIC
+		c := &feedbackCoalescer{
+			timeoutCoalescer: timeoutCoalescer{q: q, delay: cfg.Delay, maxFrames: cfg.MaxFrames},
+			goal:             cfg.Feedback.withDefaults(p),
+			step:             p.FeedbackStep,
+			min:              p.AdaptiveMin,
+			max:              p.AdaptiveMax,
+			window:           p.FeedbackWindow,
+		}
+		if c.delay < c.min {
+			c.delay = c.min
+		}
+		if c.delay > c.max {
+			c.delay = c.max
+		}
+		// The feedback strategy binds its own timer callback so timer
+		// fires are observed (counted and latency-sampled), which the
+		// embedded timeoutCoalescer's non-virtual fireTimeout would skip.
+		c.timerFn = func() {
+			c.timer = nil
+			c.fireObserved(false)
+		}
 		return c
 	default:
 		panic(fmt.Sprintf("nic: unknown strategy %d", cfg.Strategy))
@@ -333,3 +366,161 @@ func (c *adaptiveCoalescer) adapt() {
 
 // Delay exposes the current adaptive delay for tests and diagnostics.
 func (c *adaptiveCoalescer) Delay() sim.Time { return c.delay }
+
+// FeedbackGoal is the tuner-supplied goal for StrategyFeedback: hold the
+// queue's interrupt rate at the target without letting mean delivery
+// latency exceed the budget. Zero fields fall back to the params defaults.
+type FeedbackGoal struct {
+	// TargetIntrPerSec is the interrupt-rate goal (interrupts/second on
+	// this queue, poll-absorbed requests not counted).
+	TargetIntrPerSec float64 `json:"target_intr_per_sec"`
+	// MaxLatency bounds the mean delivery latency (frame arrival at the
+	// NIC to the interrupt that hands it to the host).
+	MaxLatency sim.Time `json:"max_latency_ns"`
+}
+
+// withDefaults resolves zero goal fields to the calibrated defaults.
+func (g FeedbackGoal) withDefaults(p params.NIC) FeedbackGoal {
+	if g.TargetIntrPerSec <= 0 {
+		g.TargetIntrPerSec = p.FeedbackTargetIntrPerSec
+	}
+	if g.MaxLatency <= 0 {
+		g.MaxLatency = p.FeedbackMaxLatency
+	}
+	return g
+}
+
+// feedbackLowWater is the fraction of the target rate below which the
+// controller spends spare interrupt budget on latency (walks the delay
+// down). The gap between it and 1.0 is the hysteresis band that keeps the
+// delay from oscillating every window.
+const feedbackLowWater = 0.5
+
+// feedbackCoalescer is the closed-loop strategy: timeout coalescing whose
+// delay is steered by a controller rather than fixed. Every window it
+// compares the measured interrupt rate and mean delivery latency against
+// the goal and walks the delay one step: down when latency is over budget,
+// up when the interrupt rate is over target, down again when the rate is
+// far enough under target that latency can be bought back. The delay is
+// clamped to [AdaptiveMin, AdaptiveMax].
+type feedbackCoalescer struct {
+	timeoutCoalescer
+	goal FeedbackGoal
+	step sim.Time
+	min  sim.Time
+	max  sim.Time
+
+	// window bookkeeping; windowStarted distinguishes "no window yet"
+	// from a window opened at simulated time 0 (same sentinel rationale
+	// as adaptiveCoalescer).
+	window        sim.Time
+	windowStarted bool
+	windowStart   sim.Time
+	intrWindow    int
+	ageSum        sim.Time
+	ageCount      int
+}
+
+func (c *feedbackCoalescer) Name() string {
+	return fmt.Sprintf("feedback(%dus)", c.delay/sim.Microsecond)
+}
+func (c *feedbackCoalescer) inspectsMarkers() bool { return false }
+
+func (c *feedbackCoalescer) onDMAComplete(d *RxDesc, pending int) {
+	c.observeWindow()
+	c.count++
+	if c.maxFrames > 0 && c.count >= c.maxFrames {
+		c.fireObserved(true)
+		return
+	}
+	c.arm()
+}
+
+func (c *feedbackCoalescer) onBacklog() { c.arm() }
+
+// fireObserved raises the coalescing interrupt like timeoutCoalescer's
+// fire/fireTimeout, but records it for the controller: unmasked requests
+// (the ones that really interrupt) are counted, and the age of the oldest
+// waiting descriptor is sampled as the delivery latency of this window.
+func (c *feedbackCoalescer) fireObserved(cancelTimer bool) {
+	if cancelTimer && c.timer != nil {
+		c.timer.Cancel()
+		c.timer = nil
+	}
+	c.count = 0
+	if len(c.q.completed) == 0 {
+		return
+	}
+	if !c.q.masked {
+		c.intrWindow++
+		c.sampleAge()
+	}
+	c.q.nic.requestInterrupt(c.q, causeTimeout)
+}
+
+// sampleAge records how long the oldest completed descriptor has been
+// waiting: arrival-to-interrupt for received frames, DMA-done-to-interrupt
+// for tx completions (which never arrived on the wire).
+func (c *feedbackCoalescer) sampleAge() {
+	d := c.q.completed[0]
+	ref := d.ArrivedAt
+	if d.Frame == nil {
+		ref = d.DMADoneAt
+	}
+	c.ageSum += c.q.nic.eng.Now() - ref
+	c.ageCount++
+}
+
+// observeWindow runs the controller when the current measurement window
+// has elapsed. It is driven at DMA-completion cadence (like the adaptive
+// strategy), so windows close on the next completion past their end.
+func (c *feedbackCoalescer) observeWindow() {
+	now := c.q.nic.eng.Now()
+	if !c.windowStarted {
+		c.windowStarted = true
+		c.windowStart = now
+		return
+	}
+	elapsed := now - c.windowStart
+	if elapsed < c.window {
+		return
+	}
+	rate := float64(c.intrWindow) * float64(sim.Second) / float64(elapsed)
+	var meanAge sim.Time
+	if c.ageCount > 0 {
+		meanAge = c.ageSum / sim.Time(c.ageCount)
+	}
+	switch {
+	case meanAge > c.goal.MaxLatency:
+		// Latency over budget: coalesce less, whatever the rate says.
+		c.walk(-c.step)
+	case rate > c.goal.TargetIntrPerSec:
+		// Interrupt load over target: coalesce harder.
+		c.walk(c.step)
+	case rate < feedbackLowWater*c.goal.TargetIntrPerSec && 2*meanAge <= c.goal.MaxLatency:
+		// Far under the interrupt budget with latency headroom: spend
+		// the spare budget on latency.
+		c.walk(-c.step)
+	}
+	c.intrWindow, c.ageSum, c.ageCount = 0, 0, 0
+	c.windowStart = now
+}
+
+// walk moves the delay by d, clamped to [min, max], counting effective
+// steps in the NIC statistics.
+func (c *feedbackCoalescer) walk(d sim.Time) {
+	next := c.delay + d
+	if next < c.min {
+		next = c.min
+	}
+	if next > c.max {
+		next = c.max
+	}
+	if next != c.delay {
+		c.delay = next
+		c.q.nic.Stats.FeedbackSteps++
+	}
+}
+
+// Delay exposes the current feedback delay for tests and diagnostics.
+func (c *feedbackCoalescer) Delay() sim.Time { return c.delay }

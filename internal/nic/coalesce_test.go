@@ -33,7 +33,7 @@ func TestAdaptiveHonorsMaxFrames(t *testing.T) {
 // (later requests are absorbed by the in-flight NAPI poll, as in Linux).
 func TestMaxFramesExactHitAllStrategies(t *testing.T) {
 	const maxFrames = 3
-	for _, st := range []Strategy{StrategyDisabled, StrategyTimeout, StrategyOpenMX, StrategyStream, StrategyAdaptive} {
+	for _, st := range []Strategy{StrategyDisabled, StrategyTimeout, StrategyOpenMX, StrategyStream, StrategyAdaptive, StrategyFeedback} {
 		t.Run(st.String(), func(t *testing.T) {
 			r := newRig(t, Config{Strategy: st, Delay: 75 * sim.Microsecond, MaxFrames: maxFrames})
 			for i := 0; i < maxFrames; i++ {
@@ -108,6 +108,7 @@ func TestOnBacklogWithMarkedFrame(t *testing.T) {
 		{StrategyOpenMX, true},
 		{StrategyStream, true},
 		{StrategyAdaptive, false},
+		{StrategyFeedback, false},
 	}
 	const delay = 75 * sim.Microsecond
 	for _, tc := range cases {
@@ -160,6 +161,79 @@ func TestStreamDeferralAccounting(t *testing.T) {
 	}
 	if r.nic.Stats.Interrupts != 2 {
 		t.Errorf("Interrupts = %d, want 2 (one per burst)", r.nic.Stats.Interrupts)
+	}
+}
+
+// TestFeedbackWalksUpUnderInterruptOverload drives the feedback strategy
+// with dense traffic far above its interrupt-rate target: the controller
+// must walk the delay up (coalesce harder) window after window.
+func TestFeedbackWalksUpUnderInterruptOverload(t *testing.T) {
+	r := newRig(t, Config{
+		Strategy: StrategyFeedback,
+		Delay:    5 * sim.Microsecond,
+		// A 1k intr/s target that per-packet interrupts at 100k pkts/s
+		// overshoot by two orders of magnitude; an effectively unbounded
+		// latency budget keeps the guardrail out of the picture.
+		Feedback: FeedbackGoal{TargetIntrPerSec: 1_000, MaxLatency: sim.Second},
+	})
+	c, ok := r.nic.queues[0].coal.(*feedbackCoalescer)
+	if !ok {
+		t.Fatalf("queue coalescer is %T, want *feedbackCoalescer", r.nic.queues[0].coal)
+	}
+	for i := 0; i < 200; i++ {
+		r.inject(sim.Time(i)*10*sim.Microsecond, frame(false, 128))
+	}
+	r.eng.Run()
+	if got := c.Delay(); got <= 5*sim.Microsecond {
+		t.Errorf("delay after interrupt overload = %v, want > initial 5us", got)
+	}
+	if r.nic.Stats.FeedbackSteps == 0 {
+		t.Error("controller recorded no delay adjustments")
+	}
+}
+
+// TestFeedbackWalksDownOverLatencyBudget drives the feedback strategy with
+// sparse traffic under a tight latency budget: every packet waits the full
+// (long) delay before its interrupt, so the controller must walk the delay
+// down even though the interrupt rate is far below target.
+func TestFeedbackWalksDownOverLatencyBudget(t *testing.T) {
+	r := newRig(t, Config{
+		Strategy: StrategyFeedback,
+		Delay:    100 * sim.Microsecond,
+		Feedback: FeedbackGoal{TargetIntrPerSec: 1e12, MaxLatency: 10 * sim.Microsecond},
+	})
+	c := r.nic.queues[0].coal.(*feedbackCoalescer)
+	for i := 0; i < 20; i++ {
+		r.inject(sim.Time(i)*300*sim.Microsecond, frame(false, 128))
+	}
+	r.eng.Run()
+	if got := c.Delay(); got >= 100*sim.Microsecond {
+		t.Errorf("delay after latency overrun = %v, want < initial 100us", got)
+	}
+}
+
+// TestFeedbackHoldsInsideGoal checks the hysteresis band: traffic whose
+// per-packet interrupt rate sits between the low-water mark and the target
+// leaves the delay alone (no oscillation in the steady state).
+func TestFeedbackHoldsInsideGoal(t *testing.T) {
+	r := newRig(t, Config{
+		Strategy: StrategyFeedback,
+		Delay:    20 * sim.Microsecond,
+		// Packets every 30us with a 20us delay interrupt one-for-one:
+		// ~33k intr/s, inside [0.5*target, target] for a 40k target, and
+		// the ~20us waits stay inside the 60us latency budget.
+		Feedback: FeedbackGoal{TargetIntrPerSec: 40_000, MaxLatency: 60 * sim.Microsecond},
+	})
+	c := r.nic.queues[0].coal.(*feedbackCoalescer)
+	for i := 0; i < 200; i++ {
+		r.inject(sim.Time(i)*30*sim.Microsecond, frame(false, 128))
+	}
+	r.eng.Run()
+	if got := c.Delay(); got != 20*sim.Microsecond {
+		t.Errorf("delay moved to %v inside the goal band, want to hold at 20us", got)
+	}
+	if r.nic.Stats.FeedbackSteps != 0 {
+		t.Errorf("FeedbackSteps = %d inside the goal band, want 0", r.nic.Stats.FeedbackSteps)
 	}
 }
 

@@ -58,6 +58,9 @@ type Stats struct {
 	Deferred uint64
 	// RingDrops counts frames dropped because the receive ring was full.
 	RingDrops uint64
+	// FeedbackSteps counts effective delay adjustments made by the
+	// feedback strategy's controller (clamped walks do not count).
+	FeedbackSteps uint64
 	// PollCycles counts NAPI poll sessions; PacketsPolled their packets.
 	PollCycles    uint64
 	PacketsPolled uint64
@@ -107,6 +110,9 @@ type Config struct {
 	// Queues is the number of receive queues (1 = stock single-queue NIC;
 	// > 1 enables the Section VI multiqueue extension).
 	Queues int
+	// Feedback is the goal for StrategyFeedback (ignored by the other
+	// strategies; zero fields fall back to the params defaults).
+	Feedback FeedbackGoal
 }
 
 // New creates a NIC, attaches it to the switch under mac, and installs the

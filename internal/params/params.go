@@ -61,9 +61,20 @@ type NIC struct {
 	RxRingEntries int
 	// AdaptiveMin/Max bound the adaptive strategy's delay range and
 	// AdaptiveWindow is its rate-estimation window (Section VI extension).
+	// The feedback strategy's delay walk is clamped to the same range.
 	AdaptiveMin    sim.Time
 	AdaptiveMax    sim.Time
 	AdaptiveWindow sim.Time
+	// FeedbackWindow is the sliding window over which the feedback
+	// strategy measures its own interrupt rate and delivery latency;
+	// FeedbackStep is how far it walks the delay per control decision.
+	FeedbackWindow sim.Time
+	FeedbackStep   sim.Time
+	// FeedbackTargetIntrPerSec and FeedbackMaxLatency are the default goal
+	// when the tuner supplies none: hold the interrupt rate at the target
+	// without letting mean delivery latency exceed the budget.
+	FeedbackTargetIntrPerSec float64
+	FeedbackMaxLatency       sim.Time
 }
 
 // DMATime returns the DMA duration for a frame of n payload bytes.
@@ -287,6 +298,11 @@ func Default() *Params {
 			AdaptiveMin:          5 * sim.Microsecond,
 			AdaptiveMax:          100 * sim.Microsecond,
 			AdaptiveWindow:       200 * sim.Microsecond,
+			FeedbackWindow:       200 * sim.Microsecond,
+			FeedbackStep:         5 * sim.Microsecond,
+
+			FeedbackTargetIntrPerSec: 20_000,
+			FeedbackMaxLatency:       40 * sim.Microsecond, // ~half the worst fig5 latency cost
 		},
 		Host: Host{
 			Cores:                    8,

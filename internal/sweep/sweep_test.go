@@ -44,6 +44,69 @@ func TestGridExpansion(t *testing.T) {
 	}
 }
 
+// TestGridNormalizedEdgeCases pins the zero/negative handling of the
+// scalar grid fields feeding Validate: non-positive Iters and rate
+// windows must come back as the documented defaults, never zero (a zero
+// measurement window would divide by zero downstream), and every axis of
+// the zero grid must be filled so the expanded point validates.
+func TestGridNormalizedEdgeCases(t *testing.T) {
+	cases := []Grid{
+		{},
+		{Iters: 0, RateWarmup: 0, RateMeasure: 0},
+		{Iters: -3, RateWarmup: -sim.Millisecond, RateMeasure: -sim.Second},
+	}
+	for i, g := range cases {
+		n := g.normalized()
+		if n.Iters != 30 {
+			t.Errorf("case %d: Iters = %d, want 30", i, n.Iters)
+		}
+		if n.RateWarmup != 10*sim.Millisecond || n.RateMeasure != 50*sim.Millisecond {
+			t.Errorf("case %d: rate windows = %v/%v, want 10ms/50ms", i, n.RateWarmup, n.RateMeasure)
+		}
+		for axis, size := range map[string]int{
+			"Strategies": len(n.Strategies), "Delays": len(n.Delays),
+			"Sizes": len(n.Sizes), "IRQ": len(n.IRQ), "Queues": len(n.Queues),
+			"Seeds": len(n.Seeds), "SleepDisabled": len(n.SleepDisabled),
+			"Nodes": len(n.Nodes), "BgStreams": len(n.BgStreams),
+		} {
+			if size != 1 {
+				t.Errorf("case %d: axis %s has %d defaults, want 1", i, axis, size)
+			}
+		}
+		for _, p := range n.Points() {
+			if err := p.Config().Validate(); err != nil {
+				t.Errorf("case %d: normalized point does not validate: %v", i, err)
+			}
+		}
+	}
+	// Explicit axis values — including invalid ones — survive
+	// normalization untouched; rejection is Run's job, not normalized's.
+	g := Grid{Sizes: []int{-5}, Nodes: []int{1}}.normalized()
+	if g.Sizes[0] != -5 || g.Nodes[0] != 1 {
+		t.Errorf("normalized rewrote explicit values: %+v", g)
+	}
+}
+
+// TestBackgroundNormalizedEdgeCases pins Background's zero/negative
+// handling: Size and Chains come back at their documented defaults while
+// an explicit positive value survives, and Streams passes through for
+// RunPingPongLoaded to gate on.
+func TestBackgroundNormalizedEdgeCases(t *testing.T) {
+	for i, b := range []Background{{}, {Size: 0, Chains: 0}, {Size: -64 << 10, Chains: -2}} {
+		n := b.normalized()
+		if n.Size != 64<<10 {
+			t.Errorf("case %d: Size = %d, want 64KiB", i, n.Size)
+		}
+		if n.Chains != 1 {
+			t.Errorf("case %d: Chains = %d, want 1", i, n.Chains)
+		}
+	}
+	n := Background{Streams: 3, Size: 4096, Chains: 2}.normalized()
+	if n.Streams != 3 || n.Size != 4096 || n.Chains != 2 {
+		t.Errorf("normalized rewrote explicit values: %+v", n)
+	}
+}
+
 func TestRunRejectsInvalidGrid(t *testing.T) {
 	g := Grid{Queues: []int{-1}}
 	if _, err := Run(g, 1); err == nil {

@@ -28,6 +28,7 @@ import (
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
 	"openmxsim/internal/sweep"
+	"openmxsim/internal/tune"
 )
 
 // Time is a virtual duration or timestamp in nanoseconds.
@@ -55,10 +56,14 @@ const (
 	StrategyStream = nic.StrategyStream
 	// StrategyAdaptive adapts the delay to traffic (Section VI).
 	StrategyAdaptive = nic.StrategyAdaptive
+	// StrategyFeedback is the closed-loop tuner extension: the firmware
+	// walks its delay toward a goal (Config.Feedback) supplied by the
+	// tuner — see Tune.
+	StrategyFeedback = nic.StrategyFeedback
 )
 
 // ParseStrategy converts a strategy name ("disabled", "timeout", "openmx",
-// "stream", "adaptive") into a Strategy.
+// "stream", "adaptive", "feedback") into a Strategy.
 func ParseStrategy(name string) (Strategy, error) { return nic.ParseStrategy(name) }
 
 // Config describes a simulated testbed; the zero value is not useful, start
@@ -189,6 +194,31 @@ type (
 func Sweep(grid SweepGrid, workers int) (SweepResults, error) {
 	return sweep.Run(grid, workers)
 }
+
+// Tuner types: a TuneSpec describes one tuning problem (workload, search
+// space, budget, latency weight); a TuneOutcome is the search result; a
+// Tradeoff is the Pareto analysis of a result set; a TradeoffPoint one
+// tagged point; a FeedbackGoal the closed-loop runtime target for
+// StrategyFeedback (Config.Feedback).
+type (
+	TuneSpec      = tune.Spec
+	TuneOutcome   = tune.Outcome
+	Tradeoff      = tune.Tradeoff
+	TradeoffPoint = tune.Point
+	FeedbackGoal  = nic.FeedbackGoal
+)
+
+// Frontier analyzes a sweep outcome: the Pareto-optimal set over
+// (interrupt load, latency) with dominated-point tagging, knee selection
+// (max distance to the frontier chord), and a Score(latencyWeight)
+// scalarization to dial latency- vs load-priority.
+func Frontier(rs SweepResults) *Tradeoff { return tune.Frontier(rs) }
+
+// Tune finds the tradeoff for a workload adaptively: coarse grid,
+// successive halving, local refinement around the incumbent knee — the
+// exhaustive frontier's knee in a fraction of the evaluations. The same
+// Spec converges to the same point at any worker count.
+func Tune(spec TuneSpec) (*TuneOutcome, error) { return tune.Search(spec) }
 
 // Experiment options and reports (the paper's tables and figures).
 type (

@@ -141,3 +141,41 @@ func ExampleSweep() {
 	fmt.Printf("%d points; lowest 128B latency: %s\n", len(results), best.Strategy)
 	// Output: 3 points; lowest 128B latency: disabled
 }
+
+func TestTuneAPI(t *testing.T) {
+	out, err := Tune(TuneSpec{
+		Size:       128,
+		Iters:      4,
+		Strategies: []Strategy{StrategyTimeout, StrategyOpenMX},
+		Delays:     []Time{0, 25 * Microsecond, 50 * Microsecond, 75 * Microsecond, 100 * Microsecond},
+		MaxEvals:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Evals == 0 || out.Evals > 8 {
+		t.Fatalf("evals = %d, want 1..8", out.Evals)
+	}
+	if out.Knee.Strategy == "" {
+		t.Fatal("tune chose no knee")
+	}
+	// The frontier of the evaluated points must re-derive identically
+	// through the public analysis entry point.
+	tr := Frontier(out.Evaluated)
+	k, ok := tr.Knee()
+	if !ok || k.Strategy != out.Knee.Strategy || k.DelayUS != out.Knee.DelayUS {
+		t.Errorf("Frontier re-analysis knee %s@%g differs from Tune's %s@%g",
+			k.Strategy, k.DelayUS, out.Knee.Strategy, out.Knee.DelayUS)
+	}
+	// The derived goal plugs straight into a feedback-strategy config.
+	cfg := PaperPlatform()
+	cfg.Strategy = StrategyFeedback
+	cfg.Feedback = out.Feedback
+	lat, err := PingPong(cfg, []int{128}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat[128] <= 0 {
+		t.Errorf("feedback ping-pong latency %v", lat[128])
+	}
+}
