@@ -20,7 +20,11 @@ import (
 	"strings"
 	"time"
 
+	"openmxsim/internal/cluster"
 	"openmxsim/internal/exp"
+	"openmxsim/internal/fabric"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/sweep"
 )
 
 // benchRecord is the schema of BENCH_<id>.json.
@@ -89,27 +93,79 @@ func runBenchMode(ids []string, opts exp.Options, reps int, outDir, baselinePath
 			return err
 		}
 	}
+	var gateErr error
 	if baselinePath == "" {
-		if summaryPath == "" {
-			return nil
+		if summaryPath != "" {
+			// No baseline to compare against: the summary still gets the raw
+			// measurements rather than silently staying empty.
+			var md strings.Builder
+			md.WriteString("### Benchmark measurements (no baseline)\n\n")
+			md.WriteString("| experiment | ns/op | B/op | allocs/op |\n|---|---:|---:|---:|\n")
+			var ns, bs, allocs []float64
+			for _, rec := range records {
+				fmt.Fprintf(&md, "| %s | %d | %d | %d |\n", rec.ID, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+				ns = append(ns, float64(rec.NsPerOp))
+				bs = append(bs, float64(rec.BytesPerOp))
+				allocs = append(allocs, float64(rec.AllocsPerOp))
+			}
+			fmt.Fprintf(&md, "| **geomean** | %.0f | %.0f | %.0f |\n",
+				geomean(ns), geomean(bs), geomean(allocs))
+			if err := writeSummary(summaryPath, md.String()); err != nil {
+				return err
+			}
 		}
-		// No baseline to compare against: the summary still gets the raw
-		// measurements rather than silently staying empty.
-		var md strings.Builder
-		md.WriteString("### Benchmark measurements (no baseline)\n\n")
-		md.WriteString("| experiment | ns/op | B/op | allocs/op |\n|---|---:|---:|---:|\n")
-		var ns, bs, allocs []float64
-		for _, rec := range records {
-			fmt.Fprintf(&md, "| %s | %d | %d | %d |\n", rec.ID, rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
-			ns = append(ns, float64(rec.NsPerOp))
-			bs = append(bs, float64(rec.BytesPerOp))
-			allocs = append(allocs, float64(rec.AllocsPerOp))
-		}
-		fmt.Fprintf(&md, "| **geomean** | %.0f | %.0f | %.0f |\n",
-			geomean(ns), geomean(bs), geomean(allocs))
-		return writeSummary(summaryPath, md.String())
+	} else {
+		gateErr = checkBaseline(records, baselinePath, maxRegress, maxTimeRegress, summaryPath)
 	}
-	return checkBaseline(records, baselinePath, maxRegress, maxTimeRegress, summaryPath)
+	// The parallel-engine A/B rides along with every summary request so the
+	// job summary always shows what sharding buys (or costs) on this
+	// machine; it runs after the gate so a gate failure still reports it.
+	if summaryPath != "" {
+		if err := writeSummary(summaryPath, parAB(opts.Seed)); err != nil {
+			return err
+		}
+	}
+	return gateErr
+}
+
+// parAB measures the sharded conservative engine against the serial
+// reference on the workload parallelism exists for — a 64-node incast on
+// the bounded output-queued fabric — and returns a Markdown section for
+// the job summary. The two runs must produce identical measurements (the
+// engine's determinism contract); the row reports the wall-clock ratio,
+// which depends on the machine's core count (a single-core runner pays the
+// barrier overhead with no parallelism to win it back).
+func parAB(seed uint64) string {
+	cfg := cluster.Paper()
+	cfg.Seed = seed
+	cfg.Nodes = 64
+	cfg.Topology = fabric.Topology{
+		Kind:              fabric.TopologyOutputQueued,
+		EgressQueueFrames: 64,
+	}
+	run := func(par int) (sweep.IncastResult, time.Duration) {
+		c := cfg
+		c.Parallelism = par
+		start := time.Now()
+		res := sweep.RunIncast(sweep.IncastSpec{
+			Cluster: c, Senders: cfg.Nodes - 1, Size: 128,
+			Warmup: 5 * sim.Millisecond, Measure: 40 * sim.Millisecond,
+		})
+		return res, time.Since(start)
+	}
+	r1, t1 := run(1)
+	r8, t8 := run(8)
+
+	var md strings.Builder
+	fmt.Fprintf(&md, "### Parallel engine A/B: 64-node incast, %d cores\n\n", runtime.NumCPU())
+	md.WriteString("| par | wall ms | speedup | msg/s | identical |\n|---:|---:|---:|---:|---|\n")
+	fmt.Fprintf(&md, "| 1 | %.0f | 1.00x | %.0f | — |\n", float64(t1.Microseconds())/1000, r1.Rate)
+	fmt.Fprintf(&md, "| 8 | %.0f | %.2fx | %.0f | %v |\n",
+		float64(t8.Microseconds())/1000, t1.Seconds()/t8.Seconds(), r8.Rate, r1 == r8)
+	fmt.Fprintf(os.Stderr, "[bench par A/B: par1 %.0fms par8 %.0fms speedup %.2fx identical %v]\n",
+		float64(t1.Microseconds())/1000, float64(t8.Microseconds())/1000,
+		t1.Seconds()/t8.Seconds(), r1 == r8)
+	return md.String()
 }
 
 // checkBaseline fails when any experiment's allocs/op exceeds the baseline

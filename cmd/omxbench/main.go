@@ -51,6 +51,7 @@ func main() {
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed fractional allocs/op regression vs baseline")
 	maxTimeRegress := flag.Float64("maxtimeregress", 0.10, "ns/op regression vs baseline that triggers a warning")
 	sched := cliflag.Sched()
+	par := cliflag.Par()
 	summary := flag.String("benchsummary", "", "write a Markdown baseline-comparison table to this file (bench mode)")
 	flag.Parse()
 
@@ -73,7 +74,7 @@ func main() {
 	for i, id := range ids {
 		ids[i] = strings.TrimSpace(id)
 	}
-	opts := exp.Options{Seed: *seed, Quick: *quick}
+	opts := exp.Options{Seed: *seed, Quick: *quick, Par: *par}
 
 	if *bench {
 		if err := runBenchMode(ids, opts, *benchReps, *benchOut, *baseline, *maxRegress, *maxTimeRegress, *summary); err != nil {

@@ -48,6 +48,7 @@ func main() {
 	qframes := flag.Int("qframes", 0, "switch egress queue bound in frames (0 = ideal unbounded port)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	sched := cliflag.Sched()
+	par := cliflag.Par()
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 	cfg.SleepDisabled = *nosleep
 	cfg.Queues = *queues
 	cfg.Nodes = *nodes
+	cfg.Parallelism = *par
 	if *qframes > 0 {
 		cfg.Topology = fabric.Topology{
 			Kind:              fabric.TopologyOutputQueued,

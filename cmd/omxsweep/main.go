@@ -45,6 +45,8 @@ func run() int {
 	iters := flag.Int("iters", 30, "ping-pong iterations per point")
 	rate := flag.Bool("rate", false, "also measure message rate at every point")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	par := cliflag.Par()
+	qframes := flag.Int("qframes", 0, "switch egress queue bound in frames (0 = ideal unbounded port; -par > 1 needs it)")
 	out := flag.String("out", "-", "JSON output path ('-' = stdout, '' = none)")
 	csvOut := flag.String("csvout", "", "CSV output path ('-' = stdout, '' = none)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -87,15 +89,10 @@ func run() int {
 	}
 	grid.Iters = *iters
 	grid.Rate = *rate
+	grid.Par = *par
+	grid.QFrames = *qframes
 
-	n := *workers
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	if s := grid.Size(); n > s {
-		n = s // mirror sweep.Run's cap so the banner states the real count
-	}
-	fmt.Fprintf(os.Stderr, "sweeping %d points on %d workers\n", grid.Size(), n)
+	fmt.Fprintf(os.Stderr, "sweeping %d points on %d workers\n", grid.Size(), grid.Workers(*workers))
 	start := time.Now()
 	results, err := sweep.Run(grid, *workers)
 	if err != nil {

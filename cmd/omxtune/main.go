@@ -44,6 +44,7 @@ func run() int {
 	budget := flag.Int("budget", 0, "max evaluations (0 = 30% of the exhaustive grid, min 8)")
 	weight := flag.Float64("weight", 0.5, "latency weight in [0,1]: 1 chases latency, 0 interrupt load")
 	workers := flag.Int("workers", 0, "worker goroutines per search round (0 = GOMAXPROCS)")
+	par := cliflag.Par()
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.Bool("json", false, "emit the full outcome as JSON instead of text")
 	sched := cliflag.Sched()
@@ -81,6 +82,7 @@ func run() int {
 		MaxEvals:      *budget,
 		LatencyWeight: w,
 		Workers:       *workers,
+		Par:           *par,
 	}
 	start := time.Now()
 	out, err := tune.Search(spec)

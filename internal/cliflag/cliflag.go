@@ -28,6 +28,14 @@ func ApplySched(name string) error {
 	return sim.SetDefaultSchedulerByName(name)
 }
 
+// Par registers the canonical -par flag on the default flag set: the
+// number of shard engines per simulated cluster (cluster.Config
+// .Parallelism). 1 is the serial reference engine; higher values need an
+// output-queued topology to engage and produce bit-identical results.
+func Par() *int {
+	return flag.Int("par", 1, "simulation shards per cluster (1 = serial reference engine; needs an output-queued topology to engage)")
+}
+
 // Strategy parses a single coalescing-strategy name.
 func Strategy(name string) (nic.Strategy, error) {
 	return nic.ParseStrategy(name)

@@ -46,6 +46,15 @@ type Config struct {
 	// Seed drives all stochastic elements; equal seeds reproduce runs
 	// bit for bit.
 	Seed uint64
+	// Parallelism shards the simulation across this many engines running
+	// on their own goroutines under the conservative synchronizer (see
+	// internal/sim.Group): nodes are split into contiguous shards and
+	// cross-node traffic crosses shards through the fabric's lookahead
+	// window. Reports are bit-identical at every value. <= 1 (and any
+	// value, for models that cannot shard: the direct topology has zero
+	// lookahead) runs the classic single-engine simulation; the value is
+	// clamped to the node count.
+	Parallelism int
 	// Params overrides the calibrated defaults when non-nil.
 	Params *params.Params
 	// Mark overrides the sender marking policy when non-nil.
@@ -80,6 +89,9 @@ func (c Config) Validate() error {
 	}
 	if c.Queues < 0 {
 		return fmt.Errorf("cluster: negative queue count %d", c.Queues)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("cluster: negative parallelism %d", c.Parallelism)
 	}
 	if !c.Strategy.Known() {
 		return fmt.Errorf("cluster: unknown strategy %d", int(c.Strategy))
@@ -126,14 +138,43 @@ func stackRNGKey(i int) uint64 {
 
 // Cluster is a wired testbed.
 type Cluster struct {
-	Cfg    Config
-	Eng    *sim.Engine
-	P      *params.Params
-	Switch *fabric.Switch
-	Hosts  []*host.Host
-	NICs   []*nic.NIC
-	Stacks []*omx.Stack
-	RNG    *sim.RNG
+	Cfg Config
+	// Eng is the shard-0 engine — the only engine when Parallelism
+	// resolves to 1, which is how all pre-PDES code paths use it. Code
+	// that may face a sharded cluster uses EngineFor/ScheduleOn and the
+	// cluster-level Run/RunUntil instead.
+	Eng *sim.Engine
+	// Engines holds one engine per shard; Engines[0] == Eng. Its length is
+	// the resolved parallelism (see Parallelism).
+	Engines []*sim.Engine
+	P       *params.Params
+	Switch  *fabric.Switch
+	Hosts   []*host.Host
+	NICs    []*nic.NIC
+	Stacks  []*omx.Stack
+	RNG     *sim.RNG
+
+	group   *sim.Group
+	shardOf []int // node index -> shard index
+}
+
+// resolvePar maps the configured Parallelism to the effective shard count:
+// clamped to the node count, and forced to 1 when the topology cannot shard
+// (the direct model's shared egress horizons have zero lookahead). The
+// fallback is silent by design — "run this config at -par N" is always
+// safe, never wrong, and at worst serial.
+func resolvePar(cfg Config, lookahead sim.Time) int {
+	par := cfg.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	if par > cfg.Nodes {
+		par = cfg.Nodes
+	}
+	if lookahead <= 0 {
+		par = 1
+	}
+	return par
 }
 
 // New builds a cluster from cfg.
@@ -157,22 +198,48 @@ func New(cfg Config) *Cluster {
 		sw.SetFault(cfg.Fault)
 	}
 
-	c := &Cluster{Cfg: cfg, Eng: eng, P: p, Switch: sw, RNG: rng}
+	par := resolvePar(cfg, sw.Lookahead())
+	engs := make([]*sim.Engine, par)
+	engs[0] = eng
+	for i := 1; i < par; i++ {
+		engs[i] = sim.NewEngine()
+	}
+
+	c := &Cluster{Cfg: cfg, Eng: eng, Engines: engs, P: p, Switch: sw, RNG: rng}
+	c.shardOf = make([]int, cfg.Nodes)
+	for i := range c.shardOf {
+		// Contiguous balanced shards: node i -> shard i*par/Nodes.
+		c.shardOf[i] = i * par / cfg.Nodes
+	}
+	if par > 1 {
+		sw.SetShardCount(par)
+		c.group = sim.NewGroup(engs, sw.Lookahead(), sw.FlushShards)
+	}
+
 	// One frame pool spans the cluster: frames allocated by a sender are
 	// recycled when the receiving node releases them, so cross-node traffic
-	// reuses a small working set instead of allocating per packet.
+	// reuses a small working set instead of allocating per packet. Under
+	// sharding the sender and releaser may be on different goroutines, so
+	// the free list goes behind its mutex.
 	pool := wire.NewPool()
+	if par > 1 {
+		pool.Share()
+	}
 	for i := 0; i < cfg.Nodes; i++ {
-		h := host.New(eng, i, p.Host)
+		neng := engs[c.shardOf[i]]
+		h := host.New(neng, i, p.Host)
 		h.SetIRQPolicy(cfg.IRQPolicy, cfg.IRQCore)
-		n := nic.New(eng, p, h, sw, wire.NodeMAC(i), nic.Config{
+		n := nic.New(neng, p, h, sw, wire.NodeMAC(i), nic.Config{
 			Strategy:  cfg.Strategy,
 			Delay:     cfg.CoalesceDelay,
 			MaxFrames: cfg.MaxFrames,
 			Queues:    cfg.Queues,
 			Feedback:  cfg.Feedback,
 		})
-		s := omx.NewStack(eng, p, h, n, rng.Derive(stackRNGKey(i)))
+		if par > 1 {
+			sw.BindPort(wire.NodeMAC(i), c.shardOf[i], neng)
+		}
+		s := omx.NewStack(neng, p, h, n, rng.Derive(stackRNGKey(i)))
 		s.SetFramePool(pool)
 		if cfg.Mark != nil {
 			s.Mark = *cfg.Mark
@@ -187,6 +254,54 @@ func New(cfg Config) *Cluster {
 		sw.SetPortBandwidth(wire.NodeMAC(node), bps)
 	}
 	return c
+}
+
+// Parallelism returns the resolved shard count (>= 1; see Config).
+func (c *Cluster) Parallelism() int { return len(c.Engines) }
+
+// EngineFor returns the engine that owns node's events. Model code bound
+// to a node must schedule there; cluster-wide control belongs on Run /
+// RunUntil instead.
+func (c *Cluster) EngineFor(node int) *sim.Engine { return c.Engines[c.shardOf[node]] }
+
+// ScheduleOn schedules fn at virtual time at on node's shard engine — the
+// harness-facing way to plant per-node workload drivers that is correct at
+// any parallelism.
+func (c *Cluster) ScheduleOn(node int, at sim.Time, fn func()) *sim.Event {
+	return c.EngineFor(node).Schedule(at, fn)
+}
+
+// Run executes the simulation to completion: the conservative synchronizer
+// when sharded, the engine's own loop otherwise.
+func (c *Cluster) Run() {
+	if c.group != nil {
+		c.group.Run()
+		return
+	}
+	c.Eng.Run()
+}
+
+// RunUntil executes all events with timestamps <= t and advances every
+// shard's clock to t.
+func (c *Cluster) RunUntil(t sim.Time) {
+	if c.group != nil {
+		c.group.RunUntil(t)
+		return
+	}
+	c.Eng.RunUntil(t)
+}
+
+// Now returns the cluster-wide virtual time: the maximum over shard clocks,
+// which equals the serial engine's clock at every quiescent point (idle
+// shards' clocks park at their own last event).
+func (c *Cluster) Now() sim.Time {
+	now := c.Eng.Now()
+	for _, e := range c.Engines[1:] {
+		if t := e.Now(); t > now {
+			now = t
+		}
+	}
+	return now
 }
 
 // OpenEndpoints opens ranksPerNode endpoints on every node, pinning rank r

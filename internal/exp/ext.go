@@ -43,6 +43,7 @@ func Adaptive(opts Options) *Report {
 	for _, st := range strategies {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Par
 		cfg.Strategy = st.strategy
 		m, err := pingPong(cfg, []int{128}, iters)
 		if err != nil {
@@ -62,6 +63,7 @@ func Adaptive(opts Options) *Report {
 	for _, st := range strategies {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Par
 		cfg.Strategy = st.strategy
 		res := runStream(streamSpec{Cluster: cfg, Size: 128, Chains: 8,
 			Warmup: 10 * sim.Millisecond, Measure: measure})
@@ -80,6 +82,7 @@ func Adaptive(opts Options) *Report {
 		for _, st := range strategies {
 			cfg := cluster.Paper()
 			cfg.Seed = opts.Seed
+			cfg.Parallelism = opts.Par
 			cfg.Strategy = st.strategy
 			res, err := nas.Run(cfg, wl)
 			if err != nil {
@@ -121,6 +124,7 @@ func Multiqueue(opts Options) *Report {
 	for _, cs := range cases {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Par
 		cfg.Strategy = nic.StrategyOpenMX
 		cfg.Queues = cs.queues
 		cfg.IRQPolicy = cs.policy
@@ -156,6 +160,7 @@ func Jumbo(opts Options) *Report {
 	for _, mtu := range []int{1500, 9000} {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Par
 		cfg.Strategy = nic.StrategyOpenMX
 		p := cfg.Params
 		if p == nil {

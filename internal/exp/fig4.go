@@ -57,6 +57,7 @@ func Fig4(opts Options) *Report {
 		for _, hc := range configs {
 			cfg := cluster.Paper()
 			cfg.Seed = opts.Seed
+			cfg.Parallelism = opts.Par
 			cfg.IRQPolicy = hc.policy
 			cfg.SleepDisabled = !hc.sleep
 			if d == 0 {
@@ -109,6 +110,7 @@ func Overhead(opts Options) *Report {
 	for _, c := range rows {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Par
 		cfg.Strategy = c.strategy
 		cfg.IRQPolicy = c.policy
 		res := runOverhead(cfg, packets, gap)

@@ -47,6 +47,7 @@ func Incast(opts Options) *Report {
 		for _, st := range strategies {
 			cfg := cluster.Paper()
 			cfg.Seed = opts.Seed
+			cfg.Parallelism = opts.Par
 			cfg.Strategy = st.strategy
 			cfg.Topology = fabric.Topology{
 				Kind:              fabric.TopologyOutputQueued,
@@ -113,6 +114,7 @@ func CongestedPingPong(opts Options) *Report {
 	for i, st := range strategies {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Par
 		cfg.Strategy = st.strategy
 		base, _, _, err := sweep.RunPingPongLoaded(cfg, sizes, iters, sweep.Background{})
 		if err != nil {

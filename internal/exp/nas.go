@@ -62,6 +62,7 @@ func nasSweep(opts Options, workloads []struct {
 		for _, st := range nasStrategies {
 			cfg := cluster.Paper()
 			cfg.Seed = opts.Seed
+			cfg.Parallelism = opts.Par
 			cfg.Strategy = st.strategy
 			res, err := nas.Run(cfg, wl)
 			if err != nil {

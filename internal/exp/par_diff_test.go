@@ -1,0 +1,42 @@
+package exp
+
+import "testing"
+
+// TestReportsBitIdenticalAcrossParallelism regenerates registry
+// experiments on the serial reference engine and on sharded engines and
+// requires byte-identical reports: conservative parallel execution must be
+// invisible to every model. Experiments on the ideal direct topology fall
+// back to the serial engine (zero lookahead) and pass trivially; the
+// output-queued experiments — incast above all — are the ones that
+// genuinely shard. Two seeds guard against a single lucky ordering. In
+// -short mode (and under -race, where each sharded run costs minutes) only
+// the cheapest experiments run; the full registry runs in CI.
+func TestReportsBitIdenticalAcrossParallelism(t *testing.T) {
+	ids := IDs()
+	if testing.Short() || !fullDiffRegistry {
+		ids = []string{"fig5", "table2", "table3", "sweep", "incast"}
+	}
+	seeds := []uint64{1, 7}
+	for _, id := range ids {
+		runner, err := Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range seeds {
+			serial, err := runner(Options{Seed: seed, Quick: true, Par: 1}).JSON()
+			if err != nil {
+				t.Fatalf("%s seed %d (par 1): %v", id, seed, err)
+			}
+			for _, par := range []int{2, 4, 8} {
+				sharded, err := runner(Options{Seed: seed, Quick: true, Par: par}).JSON()
+				if err != nil {
+					t.Fatalf("%s seed %d (par %d): %v", id, seed, par, err)
+				}
+				if string(sharded) != string(serial) {
+					t.Errorf("%s seed %d: report differs between par 1 and par %d\npar 1: %s\npar %d: %s",
+						id, seed, par, serial, par, sharded)
+				}
+			}
+		}
+	}
+}

@@ -36,6 +36,7 @@ func paretoSpace(opts Options) ([]nic.Strategy, []sim.Time, sweep.Grid) {
 		Rate:        true,
 		RateWarmup:  5 * sim.Millisecond,
 		RateMeasure: 20 * sim.Millisecond,
+		Par:         opts.Par,
 	}
 	if opts.Quick {
 		g.Iters = 6
@@ -132,6 +133,7 @@ func Autotune(opts Options) *Report {
 		Strategies:  strategies,
 		Delays:      delays,
 		MaxEvals:    budget,
+		Par:         opts.Par,
 	})
 	if err != nil {
 		rep.Notes = append(rep.Notes, fmt.Sprintf("ERROR: %v", err))

@@ -41,6 +41,7 @@ func pingPongReport(id, title string, opts Options, strategies []ppStrategy, not
 	for i, s := range strategies {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Par
 		cfg.Strategy = s.strategy
 		m, err := pingPong(cfg, pingPongSizes, iters)
 		if err != nil {

@@ -20,6 +20,10 @@ type Options struct {
 	// Quick shrinks durations/iterations for tests and CI (the shapes
 	// survive, the precision does not).
 	Quick bool
+	// Par shards every cluster the experiment builds across this many
+	// engines (cluster.Config.Parallelism). Reports are bit-identical at
+	// any value; only wall-clock time changes. Zero means 1 (serial).
+	Par int
 }
 
 // DefaultOptions returns the full-scale configuration.

@@ -51,7 +51,7 @@ func runOverhead(cfg cluster.Config, packets int, gap sim.Time) overheadResult {
 		cl.Eng.After(gap, next)
 	}
 	cl.Eng.After(0, next)
-	cl.Eng.Run()
+	cl.Run()
 
 	st := cl.Hosts[0].Stats()
 	dropped := cl.Stacks[0].Stats.InvalidDropped

@@ -56,6 +56,7 @@ func Table1(opts Options) *Report {
 		for _, st := range table1Strategies {
 			cfg := cluster.Paper()
 			cfg.Seed = opts.Seed
+			cfg.Parallelism = opts.Par
 			cfg.Strategy = st.strategy
 			res := runStream(streamSpec{
 				Cluster: cfg, Size: ss.size, Chains: ss.chains,

@@ -79,6 +79,7 @@ func Table2(opts Options) *Report {
 	for _, st := range strategies {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Par
 		cfg.Strategy = st.strategy
 		mean, irq, err := largeAnatomy(cfg, iters)
 		if err != nil {
@@ -100,6 +101,7 @@ func Table2Ablation(opts Options) *Report {
 	}
 	base := cluster.Paper()
 	base.Seed = opts.Seed
+	base.Parallelism = opts.Par
 	base.Strategy = nic.StrategyOpenMX
 	full, _, err := largeAnatomy(base, iters)
 

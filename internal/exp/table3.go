@@ -95,6 +95,7 @@ func Table3(opts Options) *Report {
 	} {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
+		cfg.Parallelism = opts.Par
 		cfg.Strategy = st.strategy
 		base, err := mediumMisorder(cfg, 0, iters, 0)
 		if err != nil {

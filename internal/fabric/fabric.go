@@ -20,6 +20,36 @@
 // by the receiving NIC are decided, so it directly shapes the pull-protocol
 // results (Table II) and the Stream-coalescing deferral window (Table III).
 //
+// # Sharded execution
+//
+// The output-queued switch can run under the conservative parallel engine
+// (see internal/sim.Group): every port is bound to a shard engine
+// (BindPort), all port state — busy horizons, egress queue, statistics,
+// RNG stream, delivery-record free list — is touched only by events running
+// on that port's shard, and a send whose destination port lives on another
+// shard is parked in a per-source-shard outbox instead of being scheduled
+// directly. The synchronizer drains the outboxes between windows
+// (FlushShards) while every shard goroutine is parked.
+//
+// The switch supplies the two properties the synchronizer's determinism
+// argument needs:
+//
+//   - Lookahead: a frame sent at time u reaches the destination port's
+//     egress queue no earlier than u + PropagationDelay + SwitchLatency
+//     (plus ingress serialization), so Lookahead() is a true lower bound on
+//     cross-shard latency.
+//   - Order-independent tie-breaking: every egress-enqueue event carries a
+//     pri key derived from the source port identity and a per-port message
+//     ordinal — a pure function of the model, stamped identically by the
+//     serial (Parallelism 1) and sharded runs — so the engine's (at, pri,
+//     seq) total order places cross-shard arrivals identically no matter
+//     which engine's seq counter stamped them.
+//
+// To keep "same model, any Parallelism" bit-identical, the queued path uses
+// the per-port RNG streams and pri stamps even when running on a single
+// engine. The direct topology predates all of this and is frozen
+// (zero-lookahead shared egress horizons); it always runs serially.
+//
 // # Frame ownership and reference counting
 //
 // The fabric follows the wire.Frame rules (see the internal/wire package
@@ -204,17 +234,25 @@ type Switch struct {
 	fault *Fault
 
 	// In-flight deliveries (and, in the output-queued model, pending
-	// egress-enqueue records) are recycled through a free list and fire
-	// through bound callbacks, so forwarding a frame never allocates.
-	delivFree []*delivery
+	// egress-enqueue records) are recycled through per-port free lists and
+	// fire through bound callbacks, so forwarding a frame never allocates.
 	deliverFn func(any)
 	enqueueFn func(any)
 	txDoneFn  func(any)
 
-	// Stats
-	FramesDelivered uint64
-	FramesDropped   uint64
-	BytesDelivered  uint64
+	// outbox parks cross-shard sends, one slice per source shard so shard
+	// goroutines never contend; FlushShards drains them between windows.
+	// Nil until SetShardCount.
+	outbox [][]xmsg
+}
+
+// xmsg is one cross-shard egress-enqueue message: frame f is offered to
+// port p's egress queue at virtual time at, ordered by pri.
+type xmsg struct {
+	p   *port
+	f   *wire.Frame
+	at  sim.Time
+	pri uint64
 }
 
 // delivery is one scheduled frame arrival at a port (also reused as the
@@ -234,11 +272,27 @@ type qent struct {
 }
 
 type port struct {
-	mac         wire.MAC
-	rx          Receiver
-	link        params.Link // egress link (per-port bandwidth overrides)
-	ingressBusy sim.Time    // sender-side wire occupancy
-	egressBusy  sim.Time    // receiver-side wire occupancy (direct model)
+	mac  wire.MAC
+	rx   Receiver
+	link params.Link // egress link (per-port bandwidth overrides)
+
+	// Shard binding: all events touching this port's state run on eng
+	// (shard 0 / the switch's engine until BindPort says otherwise). rng is
+	// the port's private stream for queued-path draws, priBase|++msgSeq the
+	// order-independent tie-break key for the port's sends, and delivFree
+	// the port-local record free list — each owned by the port's shard.
+	eng     *sim.Engine
+	shard   int
+	rng     *sim.RNG
+	priBase uint64
+	msgSeq  uint64
+	// faultDrops counts this port's sends lost to fault injection (the
+	// egress-queue drop-tail counter lives in stats.Drops).
+	faultDrops uint64
+	delivFree  []*delivery
+
+	ingressBusy sim.Time // sender-side wire occupancy
+	egressBusy  sim.Time // receiver-side wire occupancy (direct model)
 
 	// Output-queued model state: the bounded FIFO (a head-indexed slice
 	// ring: qhead..len(q) are live, dequeue is O(1), compaction is
@@ -278,12 +332,87 @@ func (s *Switch) Topology() Topology { return s.topo }
 // SetFault installs (or clears, with nil) the fault-injection plan.
 func (s *Switch) SetFault(f *Fault) { s.fault = f }
 
-// Attach registers a receiver under its MAC address.
+// Attach registers a receiver under its MAC address. The port starts on
+// the switch's own engine (shard 0); BindPort reassigns it. Its RNG stream
+// and pri base are derived from the MAC alone — Derive does not consume
+// the parent stream — so attaching ports perturbs neither the frozen
+// direct-path draw order nor any sibling port's stream.
 func (s *Switch) Attach(mac wire.MAC, rx Receiver) {
 	if _, dup := s.ports[mac]; dup {
 		panic(fmt.Sprintf("fabric: duplicate port %s", mac))
 	}
-	s.ports[mac] = &port{mac: mac, rx: rx, link: s.link}
+	idx := uint64(mac[3])<<16 | uint64(mac[4])<<8 | uint64(mac[5])
+	s.ports[mac] = &port{
+		mac:     mac,
+		rx:      rx,
+		link:    s.link,
+		eng:     s.eng,
+		rng:     s.rng.Derive(0xF0<<56 | idx),
+		priBase: (idx + 1) << 40,
+	}
+}
+
+// SetShardCount prepares the switch for sharded execution across n engines:
+// it allocates one cross-shard outbox per source shard. Call once during
+// cluster wiring, before traffic, together with BindPort for every port.
+func (s *Switch) SetShardCount(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("fabric: shard count %d < 1", n))
+	}
+	s.outbox = make([][]xmsg, n)
+}
+
+// BindPort assigns an attached port to a shard engine. Every event touching
+// the port's state will be scheduled on eng; sends from a port on one shard
+// to a port on another go through the outbox/FlushShards path.
+func (s *Switch) BindPort(mac wire.MAC, shard int, eng *sim.Engine) {
+	p, ok := s.ports[mac]
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown port %s", mac))
+	}
+	if s.outbox == nil || shard < 0 || shard >= len(s.outbox) {
+		panic(fmt.Sprintf("fabric: shard %d out of range (SetShardCount first)", shard))
+	}
+	p.shard, p.eng = shard, eng
+}
+
+// FlushShards schedules every parked cross-shard message into its
+// destination port's engine and reports whether there were any. Only the
+// Group coordinator calls it, between windows, with all shard goroutines
+// parked — which is what makes touching every shard's engine here safe.
+// Messages inject in deterministic (source shard, send order) sequence, and
+// their pri keys — not the destination engine's seq stamps — decide their
+// execution order, so the injection order never shows through.
+func (s *Switch) FlushShards() bool {
+	any := false
+	for si := range s.outbox {
+		ob := s.outbox[si]
+		if len(ob) == 0 {
+			continue
+		}
+		any = true
+		for i := range ob {
+			m := &ob[i]
+			m.p.eng.ScheduleArgPri(m.at, m.pri, s.enqueueFn, m.p.getDelivery(m.f))
+			*m = xmsg{} // don't pin frames from the recycled backing array
+		}
+		s.outbox[si] = ob[:0]
+	}
+	return any
+}
+
+// Lookahead returns the minimum virtual-time distance between a send on one
+// node and its earliest effect on any other node — the window size for
+// conservative parallel execution. Every queued-path frame reaches the
+// destination's egress queue at ingress-start + serialization +
+// PropagationDelay + SwitchLatency, so propagation + switch latency is a
+// strict lower bound. The direct topology's shared egress busy-horizons
+// couple ports at zero distance, so its lookahead is 0 (cannot shard).
+func (s *Switch) Lookahead() sim.Time {
+	if s.topo.Kind != TopologyOutputQueued {
+		return 0
+	}
+	return s.link.PropagationDelay + s.link.SwitchLatency
 }
 
 // SetPortBandwidth overrides the egress line rate of an attached port.
@@ -372,7 +501,7 @@ func (s *Switch) sendDirect(src, dst *port, f *wire.Frame) {
 	// delivery; drops release it and duplicates take an extra one.
 	if s.fault.matches(f) {
 		if s.rng.Bool(s.fault.DropProb) {
-			s.FramesDropped++
+			src.faultDrops++
 			f.Release()
 			return
 		}
@@ -391,8 +520,10 @@ func (s *Switch) sendDirect(src, dst *port, f *wire.Frame) {
 // transit are computed up front, but the egress port is a real queue whose
 // occupancy is evaluated when the frame reaches it, so congestion, loss and
 // queueing delay emerge from event order rather than busy-until arithmetic.
+// It runs on the source port's shard and touches only source-port state,
+// the fault/topology configuration (read-only), and scheduleEgress.
 func (s *Switch) sendQueued(src, dst *port, f *wire.Frame) {
-	now := s.eng.Now()
+	now := src.eng.Now()
 	// Ingress always runs at the fabric's default rate: per-port overrides
 	// model the egress direction only (SetPortBandwidth's contract).
 	ser := s.link.SerializationTime(f.WireBytes())
@@ -406,43 +537,52 @@ func (s *Switch) sendQueued(src, dst *port, f *wire.Frame) {
 	ready := atSwitch + s.link.SwitchLatency
 
 	// Fault injection happens at the switch, before the egress queue: a
-	// dropped frame never occupies buffer space.
+	// dropped frame never occupies buffer space. Draws come from the source
+	// port's private stream so the sequence is shard-independent.
 	if s.fault.matches(f) {
-		if s.rng.Bool(s.fault.DropProb) {
-			s.FramesDropped++
+		if src.rng.Bool(s.fault.DropProb) {
+			src.faultDrops++
 			f.Release()
 			return
 		}
-		if s.fault.DelayProb > 0 && s.rng.Bool(s.fault.DelayProb) {
+		if s.fault.DelayProb > 0 && src.rng.Bool(s.fault.DelayProb) {
 			ready += s.fault.DelayTime
 		}
-		if s.fault.DupProb > 0 && s.rng.Bool(s.fault.DupProb) {
+		if s.fault.DupProb > 0 && src.rng.Bool(s.fault.DupProb) {
 			f.Ref()
-			s.scheduleEgress(dst, f, ready+ser)
+			s.scheduleEgress(src, dst, f, ready+ser)
 		}
 	}
-	s.scheduleEgress(dst, f, ready)
+	s.scheduleEgress(src, dst, f, ready)
 }
 
 // scheduleEgress queues an "offer frame to dst's egress queue" event at
-// virtual time at, recycling delivery records.
-func (s *Switch) scheduleEgress(p *port, f *wire.Frame, at sim.Time) {
-	d := s.getDelivery(p, f)
-	s.eng.ScheduleArg(at, s.enqueueFn, d)
+// virtual time at, stamped with the source port's next pri key: directly on
+// the destination's engine when both ports share a shard, via the
+// cross-shard outbox otherwise. Note ready-time >= now + serialization +
+// Lookahead(), the bound FlushShards' safety rests on.
+func (s *Switch) scheduleEgress(src, dst *port, f *wire.Frame, at sim.Time) {
+	src.msgSeq++
+	pri := src.priBase | src.msgSeq
+	if dst.shard != src.shard {
+		s.outbox[src.shard] = append(s.outbox[src.shard], xmsg{p: dst, f: f, at: at, pri: pri})
+		return
+	}
+	dst.eng.ScheduleArgPri(at, pri, s.enqueueFn, dst.getDelivery(f))
 }
 
 // enqueueNow offers a frame to the egress queue: drop-tail when full,
 // otherwise FIFO admission; an idle port starts transmitting immediately.
+// Runs on p's shard.
 func (s *Switch) enqueueNow(d *delivery) {
 	p, f := d.p, d.f
-	s.putDelivery(d)
+	p.putDelivery(d)
 	if p.qlen() >= s.qcap {
 		p.stats.Drops++
-		s.FramesDropped++
 		f.Release()
 		return
 	}
-	p.q = append(p.q, qent{f: f, at: s.eng.Now()})
+	p.q = append(p.q, qent{f: f, at: p.eng.Now()})
 	p.stats.Enqueued++
 	if n := p.qlen(); n > p.stats.MaxQueueFrames {
 		p.stats.MaxQueueFrames = n
@@ -476,13 +616,13 @@ func (s *Switch) txStart(p *port) {
 		p.qhead = 0
 	}
 
-	now := s.eng.Now()
+	now := p.eng.Now()
 	p.stats.QueueWait += now - e.at
 	p.txBusy = true
 	ser := p.link.SerializationTime(e.f.WireBytes())
-	arrival := now + ser + s.link.PropagationDelay + s.rng.Jitter(0, s.link.JitterSD)
+	arrival := now + ser + s.link.PropagationDelay + p.rng.Jitter(0, s.link.JitterSD)
 	s.deliver(p, e.f, arrival)
-	s.eng.ScheduleArg(now+ser, s.txDoneFn, p)
+	p.eng.ScheduleArg(now+ser, s.txDoneFn, p)
 }
 
 // txDone frees the egress link and starts the next queued frame, if any.
@@ -493,13 +633,16 @@ func (s *Switch) txDone(p *port) {
 	}
 }
 
-// getDelivery takes a delivery record off the free list.
-func (s *Switch) getDelivery(p *port, f *wire.Frame) *delivery {
+// getDelivery takes a record for port p off p's free list. Records for a
+// port are only ever allocated and recycled by p's own shard (or by the
+// coordinator during a flush, with all shards parked), so the list needs no
+// locking.
+func (p *port) getDelivery(f *wire.Frame) *delivery {
 	var d *delivery
-	if k := len(s.delivFree); k > 0 {
-		d = s.delivFree[k-1]
-		s.delivFree[k-1] = nil
-		s.delivFree = s.delivFree[:k-1]
+	if k := len(p.delivFree); k > 0 {
+		d = p.delivFree[k-1]
+		p.delivFree[k-1] = nil
+		p.delivFree = p.delivFree[:k-1]
 	} else {
 		d = &delivery{}
 	}
@@ -508,22 +651,54 @@ func (s *Switch) getDelivery(p *port, f *wire.Frame) *delivery {
 }
 
 // putDelivery clears and recycles a delivery record.
-func (s *Switch) putDelivery(d *delivery) {
+func (p *port) putDelivery(d *delivery) {
 	d.p, d.f = nil, nil
-	s.delivFree = append(s.delivFree, d)
+	p.delivFree = append(p.delivFree, d)
 }
 
+// deliver schedules the frame's arrival at p. Its callers run on p's shard
+// (direct sends are always single-shard; queued arrivals come from p's own
+// txStart), so scheduling on p.eng is always a same-shard operation.
 func (s *Switch) deliver(p *port, f *wire.Frame, at sim.Time) {
-	s.eng.ScheduleArg(at, s.deliverFn, s.getDelivery(p, f))
+	p.eng.ScheduleArg(at, s.deliverFn, p.getDelivery(f))
 }
 
 // deliverNow hands the frame (and its reference) to the destination port.
 func (s *Switch) deliverNow(d *delivery) {
 	p, f := d.p, d.f
-	s.putDelivery(d)
-	s.FramesDelivered++
-	s.BytesDelivered += uint64(f.WireBytes())
+	p.putDelivery(d)
 	p.stats.FramesDelivered++
 	p.stats.BytesDelivered += uint64(f.WireBytes())
 	p.rx.ReceiveFrame(f)
+}
+
+// FramesDelivered is the total frame count handed to receivers, summed over
+// ports. Aggregate switch counters are sums of per-shard port counters —
+// that is what lets each shard count without synchronization; read them
+// only while no engine is running.
+func (s *Switch) FramesDelivered() uint64 {
+	var n uint64
+	for _, p := range s.ports {
+		n += p.stats.FramesDelivered
+	}
+	return n
+}
+
+// FramesDropped is the total loss count: fault-injected drops plus egress
+// drop-tail rejections, summed over ports.
+func (s *Switch) FramesDropped() uint64 {
+	var n uint64
+	for _, p := range s.ports {
+		n += p.faultDrops + p.stats.Drops
+	}
+	return n
+}
+
+// BytesDelivered is the total wire-byte count handed to receivers.
+func (s *Switch) BytesDelivered() uint64 {
+	var n uint64
+	for _, p := range s.ports {
+		n += p.stats.BytesDelivered
+	}
+	return n
 }

@@ -137,8 +137,8 @@ func TestDropFault(t *testing.T) {
 	if len(b.frames) != 0 {
 		t.Fatal("frame delivered despite DropProb=1")
 	}
-	if sw.FramesDropped != 1 {
-		t.Errorf("FramesDropped = %d, want 1", sw.FramesDropped)
+	if sw.FramesDropped() != 1 {
+		t.Errorf("FramesDropped = %d, want 1", sw.FramesDropped())
 	}
 }
 
@@ -235,10 +235,10 @@ func TestStatsAccumulate(t *testing.T) {
 		sw.Send(smallFrame(0, 1, uint32(i)))
 	}
 	eng.Run()
-	if sw.FramesDelivered != 5 {
-		t.Errorf("FramesDelivered = %d, want 5", sw.FramesDelivered)
+	if sw.FramesDelivered() != 5 {
+		t.Errorf("FramesDelivered = %d, want 5", sw.FramesDelivered())
 	}
-	if sw.BytesDelivered == 0 {
+	if sw.BytesDelivered() == 0 {
 		t.Error("BytesDelivered = 0")
 	}
 }

@@ -202,8 +202,8 @@ func TestQueuedFaultInjection(t *testing.T) {
 	sw.SetFault(&Fault{DropProb: 1.0})
 	sw.Send(smallFrame(0, 1, 0))
 	eng.Run()
-	if len(sinks[1].frames) != 0 || sw.FramesDropped != 1 {
-		t.Fatalf("fault drop: delivered=%d dropped=%d", len(sinks[1].frames), sw.FramesDropped)
+	if len(sinks[1].frames) != 0 || sw.FramesDropped() != 1 {
+		t.Fatalf("fault drop: delivered=%d dropped=%d", len(sinks[1].frames), sw.FramesDropped())
 	}
 	if st := sw.PortStats(wire.NodeMAC(1)); st.Enqueued != 0 {
 		t.Errorf("fault-dropped frame was enqueued (%d)", st.Enqueued)

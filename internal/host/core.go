@@ -308,6 +308,10 @@ func (c *Core) Poll(active bool) {
 }
 
 // Busy reports whether the core currently has queued or running work.
+// Host returns the host this core belongs to — the hook rank placement
+// uses to find a core's engine under the sharded runtime.
+func (c *Core) Host() *Host { return c.host }
+
 func (c *Core) Busy() bool {
 	return c.irqDepth > 0 || c.curUser != nil || len(c.userQ) > 0
 }

@@ -102,17 +102,19 @@ func (c *Comm) RankOf(worldRank int) int {
 }
 
 // Run executes fn on every rank concurrently (SPMD) and returns the maximal
-// rank finish time. It errors if any rank deadlocks.
+// rank finish time. It errors if any rank deadlocks. Each rank's process
+// lives on its own node's shard engine (the same engine for every rank when
+// the cluster is unsharded), and the cluster-level Run drives all shards.
 func (w *World) Run(fn func(r *Rank)) (sim.Time, error) {
-	eng := w.Cluster.Eng
 	for _, r := range w.ranks {
 		r := r
+		eng := r.engine()
 		r.Proc.Start(eng, eng.Now(), func() {
 			fn(r)
 			r.FinishedAt = eng.Now()
 		})
 	}
-	eng.Run()
+	w.Cluster.Run()
 	var stuck []string
 	var finish sim.Time
 	for _, r := range w.ranks {
@@ -240,8 +242,11 @@ func (r *Rank) Compute(d sim.Time) {
 	r.Proc.Advance(r.core, d)
 }
 
-// Now returns the current virtual time.
-func (r *Rank) Now() sim.Time { return r.world.Cluster.Eng.Now() }
+// engine returns the shard engine of the rank's node.
+func (r *Rank) engine() *sim.Engine { return r.core.Host().Engine() }
+
+// Now returns the current virtual time as seen by the rank's node.
+func (r *Rank) Now() sim.Time { return r.engine().Now() }
 
 // pollWait blocks until cond, busy-polling the core if configured (Open MPI
 // spins on MX completion queues).

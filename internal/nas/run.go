@@ -46,7 +46,7 @@ func Run(cfg cluster.Config, wl *Workload) (*Result, error) {
 		Workload:         wl.FullName(),
 		Elapsed:          elapsed,
 		Interrupts:       cl.Interrupts(),
-		PacketsDelivered: cl.Switch.FramesDelivered,
+		PacketsDelivered: cl.Switch.FramesDelivered(),
 	}
 	for _, h := range cl.Hosts {
 		res.Wakeups += h.Stats().Wakeups

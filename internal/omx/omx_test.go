@@ -444,10 +444,10 @@ func TestPacketConservation(t *testing.T) {
 		t.Fatalf("recvd %d/%d", recvd, n)
 	}
 	sent := r.stackA.NIC().Stats.PacketsSent + r.stackB.NIC().Stats.PacketsSent
-	delivered := r.sw.FramesDelivered
-	if sent != delivered+r.sw.FramesDropped {
+	delivered := r.sw.FramesDelivered()
+	if sent != delivered+r.sw.FramesDropped() {
 		t.Errorf("conservation violated: sent %d, delivered %d, dropped %d",
-			sent, delivered, r.sw.FramesDropped)
+			sent, delivered, r.sw.FramesDropped())
 	}
 	got := r.stackA.NIC().Stats.PacketsReceived + r.stackB.NIC().Stats.PacketsReceived +
 		r.stackA.NIC().Stats.RingDrops + r.stackB.NIC().Stats.RingDrops

@@ -6,6 +6,19 @@
 // scheduling or garbage collection — the property that lets this repository
 // measure sub-microsecond interrupt effects from Go.
 //
+// # Event ordering
+//
+// The queue's total order is (at, pri, seq): virtual time first, then an
+// optional caller-assigned priority key, then scheduling order. Ordinary
+// events carry pri 0, so for them the order is the classic (at, seq) FIFO.
+// The pri key exists for the parallel engine (see Group): events injected
+// across shard boundaries carry a globally unique, execution-order-independent
+// pri > 0, which makes their position in the total order a pure function of
+// the model rather than of which shard scheduled first. The rule "pri 0
+// before pri > 0 at equal timestamps" is applied identically by the serial
+// and sharded engines, which is one leg of the bit-identical-reports
+// guarantee.
+//
 // # Event ownership and recycling
 //
 // The engine owns every *Event it returns and recycles fired or cancelled
@@ -37,8 +50,8 @@
 // at most two levels as the clock approaches them. The legacy single 4-ary
 // min-heap remains available via NewHeapScheduler / SetDefaultScheduler for
 // differential testing; both schedulers pop live events in the identical
-// (at, seq) total order, so reports are bit-identical under either — the
-// determinism argument lives with the Wheel type.
+// (at, pri, seq) total order, so reports are bit-identical under either —
+// the determinism argument lives with the Wheel type.
 package sim
 
 import (
@@ -61,7 +74,12 @@ const (
 // interrupt fires early). See the package comment for the handle lifetime
 // rules: an Event is recycled once it fires or its cancellation is observed.
 type Event struct {
-	at  Time
+	at Time
+	// pri is the cross-shard priority key: 0 for ordinary events, a
+	// globally unique model-derived key for events injected across shard
+	// boundaries (see the package comment and Group). It sorts between at
+	// and seq in the queue's total order.
+	pri uint64
 	seq uint64
 	fn  func()
 	afn func(any)
@@ -158,6 +176,7 @@ func (e *Engine) alloc(at Time) *Event {
 		ev = &Event{}
 	}
 	ev.at = at
+	ev.pri = 0
 	ev.seq = e.seq
 	ev.cancelled = false
 	e.seq++
@@ -196,6 +215,24 @@ func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) *Event {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
 	}
 	ev := e.alloc(at)
+	ev.afn = fn
+	ev.arg = arg
+	e.push(ev)
+	return ev
+}
+
+// ScheduleArgPri is ScheduleArg with an explicit cross-shard priority key
+// (see the package comment). The fabric stamps the same model-derived key
+// on a message whether the simulation runs on one engine or many, which
+// pins the event's position in the (at, pri, seq) total order independently
+// of engine count — the scheduling half of the parallel engine's
+// bit-identical guarantee.
+func (e *Engine) ScheduleArgPri(at Time, pri uint64, fn func(any), arg any) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	ev := e.alloc(at)
+	ev.pri = pri
 	ev.afn = fn
 	ev.arg = arg
 	e.push(ev)
@@ -273,4 +310,34 @@ func (e *Engine) RunUntil(t Time) {
 }
 
 // Stop makes the innermost Run/RunUntil return after the current event.
+// Stop is a whole-simulation control and is not supported under the sharded
+// Group runtime (no shard can know its peers' progress); harnesses that
+// rely on it force Parallelism 1.
 func (e *Engine) Stop() { e.stopped = true }
+
+// PeekTime returns the timestamp of the next live event, if any. The Group
+// synchronizer calls it between windows (workers parked) to compute the
+// cluster-wide minimum next-event time.
+func (e *Engine) PeekTime() (Time, bool) {
+	ev := e.sched.Peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// runWindow processes every event with timestamp <= t but — unlike
+// RunUntil — leaves the clock at the last event executed rather than
+// advancing it to t. Idle windows therefore leave no trace: after a full
+// Group run each shard's clock sits at its own last event, and the maximum
+// over shards equals the serial engine's final clock. It also ignores the
+// Stop flag (see Stop).
+func (e *Engine) runWindow(t Time) {
+	for {
+		ev := e.popLE(t)
+		if ev == nil {
+			return
+		}
+		e.runEvent(ev)
+	}
+}

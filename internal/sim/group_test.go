@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The twin-model property test below is the engine-level analogue of the
+// experiment differential tests: one randomized workload of logical
+// processes (LPs) runs twice — once on a single serial engine, once
+// sharded across a Group — and every LP must observe the identical
+// execution trace, entry for entry. LPs spawn local follow-up work, cancel
+// some of it, and send cross-LP messages that respect the Group contract:
+// a message sent at time u is timestamped at >= u + lookahead and carries
+// a sender-unique priority, so its arrival order is decided by (at, pri)
+// alone and never by which engine or flush round injected it.
+
+type twinMsg struct {
+	dst int
+	at  Time
+	pri uint64
+	tag uint64
+}
+
+type twinLP struct {
+	id     int
+	eng    *Engine
+	rng    *RNG
+	trace  []string
+	msgSeq uint64
+	budget int
+}
+
+type twinModel struct {
+	lps     []*twinLP
+	la      Time
+	sharded bool
+	outbox  [][]twinMsg
+	recv    func(any)
+}
+
+type twinDelivery struct {
+	lp  *twinLP
+	tag uint64
+}
+
+func newTwinModel(seed uint64, nLP int, engs []*Engine, la Time) *twinModel {
+	m := &twinModel{la: la, sharded: len(engs) > 1, outbox: make([][]twinMsg, nLP)}
+	root := NewRNG(seed)
+	for i := 0; i < nLP; i++ {
+		lp := &twinLP{
+			id:     i,
+			eng:    engs[i*len(engs)/nLP],
+			rng:    root.Derive(uint64(i) + 1),
+			budget: 120,
+		}
+		m.lps = append(m.lps, lp)
+	}
+	m.recv = func(a any) {
+		d := a.(*twinDelivery)
+		m.step(d.lp, d.tag)
+	}
+	// Initial stimulus: a few events per LP in the first window, scheduled
+	// in LP order so the serial reference assigns the same seqs every run.
+	for _, lp := range m.lps {
+		for k := 0; k < 3; k++ {
+			at := Time(lp.rng.Intn(100))
+			tag := lp.rng.Uint64()
+			l := lp
+			lp.eng.Schedule(at, func() { m.step(l, tag) })
+		}
+	}
+	return m
+}
+
+// step is the single LP event handler: record, spawn, cancel, send. Every
+// random draw comes from the LP's own stream, so the draw sequence depends
+// only on the LP's event order — exactly the quantity the Group must
+// preserve.
+func (m *twinModel) step(lp *twinLP, tag uint64) {
+	lp.trace = append(lp.trace, fmt.Sprintf("%d@%d", tag, lp.eng.Now()))
+
+	var spawned []*Event
+	for n := lp.rng.Intn(3); n > 0 && lp.budget > 0; n-- {
+		lp.budget--
+		at := lp.eng.Now() + 1 + Time(lp.rng.Intn(200))
+		t := lp.rng.Uint64()
+		l := lp
+		spawned = append(spawned, lp.eng.Schedule(at, func() { m.step(l, t) }))
+	}
+	// Cancel one of this handler's own spawns sometimes; cancelled events
+	// still pop (in both modes) but leave no trace entry.
+	if len(spawned) > 0 && lp.rng.Intn(3) == 0 {
+		spawned[lp.rng.Intn(len(spawned))].Cancel()
+	}
+
+	if lp.budget > 0 && lp.rng.Intn(3) == 0 {
+		lp.budget--
+		dst := lp.rng.Intn(len(m.lps) - 1)
+		if dst >= lp.id {
+			dst++
+		}
+		lp.msgSeq++
+		msg := twinMsg{
+			dst: dst,
+			at:  lp.eng.Now() + m.la + Time(lp.rng.Intn(150)),
+			pri: uint64(lp.id+1)<<40 | lp.msgSeq,
+			tag: lp.rng.Uint64(),
+		}
+		if m.sharded {
+			m.outbox[lp.id] = append(m.outbox[lp.id], msg)
+		} else {
+			to := m.lps[msg.dst]
+			to.eng.ScheduleArgPri(msg.at, msg.pri, m.recv, &twinDelivery{lp: to, tag: msg.tag})
+		}
+	}
+}
+
+// flush drains the cross-LP outboxes into the destination engines; the
+// Group calls it at every barrier, mirroring fabric.FlushShards.
+func (m *twinModel) flush() bool {
+	injected := false
+	for src := range m.outbox {
+		for _, msg := range m.outbox[src] {
+			to := m.lps[msg.dst]
+			to.eng.ScheduleArgPri(msg.at, msg.pri, m.recv, &twinDelivery{lp: to, tag: msg.tag})
+			injected = true
+		}
+		m.outbox[src] = m.outbox[src][:0]
+	}
+	return injected
+}
+
+func TestGroupTwinEngineEquivalence(t *testing.T) {
+	const nLP = 8
+	const la = 50
+	for seed := uint64(1); seed <= 6; seed++ {
+		ref := NewEngine()
+		serial := newTwinModel(seed, nLP, []*Engine{ref}, la)
+		ref.Run()
+
+		for _, shards := range []int{2, 3, 4, 8} {
+			engs := make([]*Engine, shards)
+			for i := range engs {
+				engs[i] = NewEngine()
+			}
+			m := newTwinModel(seed, nLP, engs, la)
+			NewGroup(engs, la, m.flush).Run()
+
+			for i := range m.lps {
+				got := strings.Join(m.lps[i].trace, "\n")
+				want := strings.Join(serial.lps[i].trace, "\n")
+				if got != want {
+					t.Fatalf("seed %d shards %d: LP %d trace diverged from serial reference\nserial:\n%s\nsharded:\n%s",
+						seed, shards, i, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupRunUntilAdvancesClocks pins the RunUntil contract: after the
+// horizon every shard's clock sits exactly at t, matching the serial
+// engine, even for shards that ran out of events early.
+func TestGroupRunUntilAdvancesClocks(t *testing.T) {
+	engs := []*Engine{NewEngine(), NewEngine()}
+	engs[0].Schedule(10, func() {})
+	g := NewGroup(engs, 25, func() bool { return false })
+	g.RunUntil(1000)
+	for i, e := range engs {
+		if e.Now() != 1000 {
+			t.Errorf("shard %d clock %d after RunUntil(1000)", i, e.Now())
+		}
+	}
+}
+
+// TestGroupPanicPropagates pins the failure path: a panic inside any
+// shard's event must surface on the caller's goroutine (after the worker
+// fleet shuts down), not kill the process from a worker.
+func TestGroupPanicPropagates(t *testing.T) {
+	for shard := 0; shard < 2; shard++ {
+		engs := []*Engine{NewEngine(), NewEngine()}
+		engs[shard].Schedule(5, func() { panic("boom") })
+		g := NewGroup(engs, 25, func() bool { return false })
+		func() {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Errorf("shard %d panic did not propagate", shard)
+				}
+			}()
+			g.Run()
+		}()
+	}
+}
+
+// TestGroupLookaheadValidation pins the constructor contract.
+func TestGroupLookaheadValidation(t *testing.T) {
+	for _, la := range []Time{0, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("lookahead %d accepted", la)
+				}
+			}()
+			NewGroup([]*Engine{NewEngine()}, la, func() bool { return false })
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty engine list accepted")
+			}
+		}()
+		NewGroup(nil, 10, func() bool { return false })
+	}()
+}

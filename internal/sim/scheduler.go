@@ -3,9 +3,10 @@ package sim
 import "fmt"
 
 // Scheduler is the engine's pending-event queue. Implementations must pop
-// live (non-cancelled) events in strict (at, seq) order — time first, then
-// scheduling order — which is the total order that makes every simulation
-// bit-reproducible. Two implementations ship with the package:
+// live (non-cancelled) events in strict (at, pri, seq) order — time first,
+// then the cross-shard priority key, then scheduling order — which is the
+// total order that makes every simulation bit-reproducible. Two
+// implementations ship with the package:
 //
 //   - NewWheelScheduler: a hierarchical timing wheel (calendar queue) with
 //     O(1) scheduling and amortized O(1) dispatch. The default.
@@ -84,17 +85,22 @@ func SchedulerByName(name string) (func() Scheduler, error) {
 	}
 }
 
-// before reports strict queue order between two events. (at, seq) pairs are
-// unique, so the order is total and the queue minimum is deterministic.
+// before reports strict queue order between two events: (at, pri, seq).
+// (at, seq) pairs are unique, so the order is total and the queue minimum
+// is deterministic; pri slots cross-shard events into a position that does
+// not depend on which engine scheduled them (see the package comment).
 func before(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
 	return a.seq < b.seq
 }
 
-// heap4 is an inlined 4-ary min-heap ordered by (time, sequence), giving
-// FIFO order at equal timestamps. Methods are specialized to *Event so
+// heap4 is an inlined 4-ary min-heap ordered by (time, priority, sequence),
+// giving FIFO order at equal timestamps and priorities. Methods are specialized to *Event so
 // push/pop compile to direct slice operations with no interface dispatch,
 // and a 4-way branch keeps the tree half as deep as a binary heap for the
 // pop-heavy workload of a packet-per-event simulation. It backs the legacy

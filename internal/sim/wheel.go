@@ -32,22 +32,23 @@ import "math/bits"
 //
 // # Determinism
 //
-// Pop must return live events in exactly the (at, seq) order the legacy
-// heap produces. That follows from three invariants:
+// Pop must return live events in exactly the (at, pri, seq) order the
+// legacy heap produces. That follows from three invariants:
 //
 //  1. Placement is monotone: an event is inserted at the lowest level whose
 //     current epoch (relative to the cursor) contains its timestamp, and
 //     cascades only move events downward when the cursor reaches their
 //     epoch. A level-0 slot therefore holds events of exactly one timestamp
 //     (plus possibly stale cancelled leftovers from earlier rotations), so
-//     FIFO slot order is (at, seq) order.
-//  2. Arrival order is seq order per timestamp: direct Pushes carry
-//     monotonically increasing seq, cascades preserve list order, and the
-//     overflow heap drains in (at, seq) order. An event can only "catch up"
-//     with a same-timestamp event at a lower level after the lower-level
-//     copy has already been placed there (the cursor must first enter the
-//     shared epoch, which cascades the older event down), so a later append
-//     always has a later seq.
+//     slot order at level 0 is (at, pri, seq) order.
+//  2. Level-0 slots are explicitly ordered: every insertion into level 0 —
+//     direct Push, cascade, overflow drain — goes through an (at, pri, seq)
+//     ordered insert (see evList.insertOrdered), so the slot head is always
+//     the slot minimum regardless of arrival order. In an all-pri-0 run
+//     arrivals are already in seq order (Pushes carry monotonically
+//     increasing seq, cascades preserve list order, and the overflow heap
+//     drains in order), so the insert degenerates to the historical O(1)
+//     FIFO append.
 //  3. The cursor never outruns the commit point: it advances to a popped
 //     event's timestamp, or to a RunUntil horizon t that the engine then
 //     adopts as now, and cascades only touch slots that start at or before
@@ -124,6 +125,30 @@ func (q *evList) pushBack(ev *Event) {
 	q.tail = ev
 }
 
+// insertOrdered places ev in (at, pri, seq) order. The fast path — ev not
+// before the current tail — is a plain append, which is every insertion in
+// an all-pri-0 simulation (level-0 slots hold a single timestamp and events
+// arrive in seq order). Only cross-shard events (pri > 0) landing among
+// same-instant peers ever take the scan, and a level-0 slot holds a handful
+// of events at most.
+func (q *evList) insertOrdered(ev *Event) {
+	if q.tail == nil || !before(ev, q.tail) {
+		q.pushBack(ev)
+		return
+	}
+	if before(ev, q.head) {
+		ev.next = q.head
+		q.head = ev
+		return
+	}
+	p := q.head
+	for !before(ev, p.next) {
+		p = p.next
+	}
+	ev.next = p.next
+	p.next = ev
+}
+
 // NewWheelScheduler returns the hierarchical timing-wheel scheduler, the
 // package default.
 func NewWheelScheduler() Scheduler {
@@ -176,8 +201,17 @@ func (w *Wheel) findBit(level, from int) int {
 	return word<<6 + bits.TrailingZeros64(b[word])
 }
 
+// put files an event into a slot. Level-0 slots are kept in full (at, pri,
+// seq) order — they are what popLE drains head-first — while the higher
+// levels stay FIFO: their slots are only ever redistributed (cascade),
+// popped when they hold a single event (takeSingle), or min-scanned in full
+// (peekSlotMin), none of which needs a sorted list.
 func (w *Wheel) put(level, idx int, ev *Event) {
-	w.slots[level][idx].pushBack(ev)
+	if level == 0 {
+		w.slots[0][idx].insertOrdered(ev)
+	} else {
+		w.slots[level][idx].pushBack(ev)
+	}
 	w.setBit(level, idx)
 }
 
@@ -474,7 +508,7 @@ func (w *Wheel) peekSlotMin(level, idx int) *Event {
 			ev = next
 			continue
 		}
-		if best == nil || ev.at < best.at {
+		if best == nil || before(ev, best) {
 			best = ev
 		}
 		prev = ev

@@ -55,6 +55,13 @@ func RunPingPongLoaded(cfg cluster.Config, sizes []int, iters int, bg Background
 	if min := 2 + bg.Streams; cfg.Nodes < min {
 		cfg.Nodes = min
 	}
+	// This harness is engine-global by construction: the stop flag is
+	// shared by the quench hook, the watchdog and every sender chain, and
+	// the watchdog on node 0's engine reads node-0 stack counters while
+	// chains run on other nodes. Sharding it would race all of that for no
+	// gain (the loaded ping-pong is latency-, not throughput-bound), so it
+	// always runs the reference single-engine simulation.
+	cfg.Parallelism = 1
 
 	cl := cluster.New(cfg)
 	w := mpi.NewWorld(cl, cl.OpenEndpointsOn([]int{0, 1}, 1))
@@ -195,13 +202,16 @@ func RunIncast(spec IncastSpec) IncastResult {
 		snd := cl.Stacks[node].Open(0, cores[1%len(cores)])
 		var chain func()
 		chain = func() { snd.Isend(dst, 1, nil, spec.Size, chain) }
-		cl.Eng.After(0, func() {
+		// Each sender chain lives on its own node's shard engine; the
+		// chains never touch shared harness state, which is what lets the
+		// incast shard cleanly.
+		cl.ScheduleOn(node, 0, func() {
 			for k := 0; k < spec.Chains; k++ {
 				chain()
 			}
 		})
 	}
-	cl.Eng.After(0, func() {
+	cl.ScheduleOn(0, 0, func() {
 		for k := 0; k < 192+64*spec.Senders; k++ {
 			rcv.Irecv(0, 0, nil, spec.Size, onRecv)
 		}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"openmxsim/internal/fabric"
 	"openmxsim/internal/sim"
 )
 
@@ -33,12 +34,7 @@ func Run(g Grid, workers int) (Results, error) {
 			return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 		}
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(pts) {
-		workers = len(pts)
-	}
+	workers = workerBudget(workers, g.Par, len(pts))
 
 	results := make(Results, len(pts))
 	// The jobs channel is buffered to the full point count and filled
@@ -69,6 +65,37 @@ func Run(g Grid, workers int) (Results, error) {
 	return results, nil
 }
 
+// workerBudget resolves the worker-pool size: non-positive means
+// GOMAXPROCS, and the pool never exceeds the point count. Each worker
+// drives up to par simulation goroutines, so the real concurrency is
+// workers x par; when par > 1 the pool shrinks so the product stays within
+// the machine rather than letting the two knobs silently multiply past it
+// (oversubscription slows every point's barrier windows at once).
+func workerBudget(workers, par, points int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if par > 1 {
+		if cap := runtime.GOMAXPROCS(0) / par; workers > cap {
+			workers = cap
+		}
+	}
+	if workers > points {
+		workers = points
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Workers reports the worker-pool size Run will use for this grid and
+// requested worker count (omxsweep's banner mirrors it).
+func (g Grid) Workers(workers int) int {
+	g = g.normalized()
+	return workerBudget(workers, g.Par, g.Size())
+}
+
 // pointScratch is per-worker reusable state for runPoint. Workers own one
 // each, so nothing here is shared or locked.
 type pointScratch struct {
@@ -81,6 +108,13 @@ type pointScratch struct {
 // single bad point cannot take down a long sweep.
 func runPoint(g Grid, p Point, scratch *pointScratch) (res Result) {
 	cfg := p.Config()
+	cfg.Parallelism = g.Par
+	if g.QFrames > 0 {
+		cfg.Topology = fabric.Topology{
+			Kind:              fabric.TopologyOutputQueued,
+			EgressQueueFrames: g.QFrames,
+		}
+	}
 	res = Result{
 		Index:         p.Index,
 		Strategy:      p.Strategy.String(),

@@ -65,10 +65,14 @@ func RunStream(spec StreamSpec) StreamResult {
 	var chain func()
 	chain = func() { snd.Isend(dst, 1, nil, spec.Size, chain) }
 
-	cl.Eng.After(0, func() {
+	// Receiver preposts and sender chains start on their own nodes' shard
+	// engines (the same engine, in the same order, when unsharded).
+	cl.ScheduleOn(1, 0, func() {
 		for i := 0; i < 192; i++ {
 			repost()
 		}
+	})
+	cl.ScheduleOn(0, 0, func() {
 		for i := 0; i < spec.Chains; i++ {
 			chain()
 		}
@@ -85,18 +89,22 @@ func RunStream(spec StreamSpec) StreamResult {
 	}
 }
 
-// measureWindow runs the engine through warmup+measure virtual time and
+// measureWindow runs the cluster through warmup+measure virtual time and
 // returns the receiving node's message/interrupt/wakeup deltas over the
-// measurement window (shared by the stream and incast harnesses).
+// measurement window (shared by the stream and incast harnesses). The
+// start-of-window snapshot runs on the measured node's shard, so it reads
+// that node's counters (and the harness's received counter, which only that
+// node's events touch) without crossing shards; the end-of-window reads
+// happen after RunUntil, with every shard quiesced at the same instant.
 func measureWindow(cl *cluster.Cluster, node int, warmup, measure sim.Time, received *int) (got int, intr, wake uint64) {
 	var startCount int
 	var startIntr, startWake uint64
-	cl.Eng.Schedule(warmup, func() {
+	cl.ScheduleOn(node, warmup, func() {
 		startCount = *received
 		startIntr = cl.NICs[node].Stats.Interrupts
 		startWake = cl.Hosts[node].Stats().Wakeups
 	})
-	cl.Eng.RunUntil(warmup + measure)
+	cl.RunUntil(warmup + measure)
 	return *received - startCount,
 		cl.NICs[node].Stats.Interrupts - startIntr,
 		cl.Hosts[node].Stats().Wakeups - startWake

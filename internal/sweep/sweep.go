@@ -11,6 +11,8 @@
 package sweep
 
 import (
+	"runtime"
+
 	"openmxsim/internal/cluster"
 	"openmxsim/internal/host"
 	"openmxsim/internal/nic"
@@ -59,6 +61,20 @@ type Grid struct {
 	// (defaults 10 ms and 50 ms of virtual time, matching the single-shot
 	// MessageRate harness in internal/exp).
 	RateWarmup, RateMeasure sim.Time
+	// Par is the per-point simulation parallelism (cluster.Config
+	// .Parallelism): every point's cluster shards across this many engines.
+	// normalized clamps it to [1, NumCPU], and Run shrinks its worker pool
+	// so workers x Par never oversubscribes the machine. For wide grids of
+	// small points the default (1) is optimal — cross-point workers beat
+	// intra-point sharding; Par earns its keep on grids of few, large
+	// (many-node, congested) points.
+	Par int
+	// QFrames, when positive, swaps every point's fabric to the bounded
+	// output-queued topology with this egress queue depth (omxsim's
+	// -qframes knob). Par > 1 needs it to engage: the ideal direct
+	// topology has zero wire lookahead, so sharded clusters fall back to
+	// the serial reference engine.
+	QFrames int
 }
 
 // Point is one fully-specified configuration of the grid.
@@ -133,6 +149,16 @@ func (g Grid) normalized() Grid {
 	}
 	if g.RateMeasure <= 0 {
 		g.RateMeasure = 50 * sim.Millisecond
+	}
+	// Clamp per-point parallelism to the machine: a zero/negative request
+	// means "default" (serial), and more shards than cores can only add
+	// barrier overhead, never speed — don't let a misconfigured grid
+	// silently oversubscribe.
+	if g.Par < 1 {
+		g.Par = 1
+	}
+	if max := runtime.NumCPU(); g.Par > max {
+		g.Par = max
 	}
 	return g
 }

@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"encoding/json"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -107,6 +108,54 @@ func TestBackgroundNormalizedEdgeCases(t *testing.T) {
 	}
 }
 
+// TestGridParClamp pins the parallelism clamp in normalized: zero and
+// negative requests mean the serial default, anything beyond the machine's
+// core count is pulled back to NumCPU, and in-range values survive.
+func TestGridParClamp(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	for _, tc := range []struct{ in, want int }{
+		{0, 1},
+		{-4, 1},
+		{1, 1},
+		{ncpu, ncpu},
+		{ncpu + 1, ncpu},
+		{8 * ncpu, ncpu},
+	} {
+		if got := (Grid{Par: tc.in}).normalized().Par; got != tc.want {
+			t.Errorf("Par %d normalized to %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestWorkerBudget pins the workers x par oversubscription clamp: an
+// explicit worker count survives at par 1 (users may oversubscribe on
+// purpose), but any par > 1 shrinks the pool so the product stays within
+// GOMAXPROCS, and the result never leaves [1, points].
+func TestWorkerBudget(t *testing.T) {
+	max := runtime.GOMAXPROCS(0)
+	if got := workerBudget(6, 1, 100); got != 6 {
+		t.Errorf("explicit workers=6 par=1 became %d", got)
+	}
+	if got, want := workerBudget(0, 1, 1000), min(max, 1000); got != want {
+		t.Errorf("default workers = %d, want %d", got, want)
+	}
+	if got := workerBudget(7, 1, 3); got != 3 {
+		t.Errorf("workers not capped at point count: %d", got)
+	}
+	for _, par := range []int{2, max + 1, 4 * max} {
+		got := workerBudget(100, par, 1000)
+		if got < 1 {
+			t.Fatalf("par %d: budget %d < 1", par, got)
+		}
+		if got > 1 && got*par > max {
+			t.Errorf("par %d: workers %d oversubscribes %d cores", par, got, max)
+		}
+	}
+	if got := workerBudget(-3, 4*max, 50); got != 1 {
+		t.Errorf("overcommitted par must degrade to 1 worker, got %d", got)
+	}
+}
+
 func TestRunRejectsInvalidGrid(t *testing.T) {
 	g := Grid{Queues: []int{-1}}
 	if _, err := Run(g, 1); err == nil {
@@ -136,6 +185,43 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if !bytes.Equal(js, jp) {
 		t.Fatalf("worker count changed the output:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", js, jp)
+	}
+}
+
+// TestSweepDeterministicAcrossPar is the same contract along the other
+// axis: per-point simulation parallelism must not change a byte of output.
+// The grid needs the output-queued topology (QFrames) for sharding to
+// engage at all, and the rate stream is the harness that actually runs
+// sharded (the ping-pong always uses the serial reference).
+func TestSweepDeterministicAcrossPar(t *testing.T) {
+	g := Grid{
+		Sizes:       []int{128, 4 << 10},
+		Seeds:       []uint64{1, 7},
+		Iters:       3,
+		Rate:        true,
+		RateWarmup:  2 * sim.Millisecond,
+		RateMeasure: 5 * sim.Millisecond,
+		QFrames:     64,
+	}
+	serial, err := Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Par = 4
+	sharded, err := Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := sharded.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js, jp) {
+		t.Fatalf("parallelism changed the output:\n--- par=1 ---\n%s\n--- par=4 ---\n%s", js, jp)
 	}
 }
 

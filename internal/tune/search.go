@@ -59,6 +59,10 @@ type Spec struct {
 	// Workers sizes the sweep worker pool per round (0 = GOMAXPROCS).
 	// Excluded from JSON: the outcome is identical at any worker count.
 	Workers int `json:"-"`
+	// Par shards each evaluated cluster across this many engines
+	// (sweep.Grid.Par). Excluded from JSON for the same reason as Workers:
+	// the outcome is identical at any parallelism.
+	Par int `json:"-"`
 }
 
 // normalized fills defaulted Spec fields; the delay lattice comes back
@@ -351,6 +355,7 @@ func (s *searcher) evalBatch(st nic.Strategy, indices []int) error {
 		Rate:        s.spec.Rate,
 		RateWarmup:  s.spec.RateWarmup,
 		RateMeasure: s.spec.RateMeasure,
+		Par:         s.spec.Par,
 	}
 	if s.spec.Nodes > 0 {
 		g.Nodes = []int{s.spec.Nodes}

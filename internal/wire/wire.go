@@ -40,6 +40,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // EtherTypeOMX is Open-MX's registered EtherType.
@@ -238,10 +240,12 @@ type Frame struct {
 }
 
 // Ref takes an additional reference on a pooled frame. It is a no-op for
-// frames built outside a pool.
+// frames built outside a pool. The count is manipulated atomically: under
+// the sharded engine a frame's sender (retransmission retain) and receiver
+// (delivery release) may live on different shards.
 func (f *Frame) Ref() {
 	if f.pool != nil {
-		f.refs++
+		atomic.AddInt32(&f.refs, 1)
 	}
 }
 
@@ -252,38 +256,66 @@ func (f *Frame) Release() {
 	if f.pool == nil {
 		return
 	}
-	f.refs--
-	if f.refs > 0 {
+	n := atomic.AddInt32(&f.refs, -1)
+	if n > 0 {
 		return
 	}
-	if f.refs < 0 {
+	if n < 0 {
 		panic("wire: frame released more times than referenced")
 	}
 	f.Payload = nil // never pin sender buffers from the free list
-	f.pool.free = append(f.pool.free, f)
+	f.pool.put(f)
 }
 
 // Pool is a frame free list. Each cluster owns one, shared by every stack,
 // NIC, and the switch, so a frame allocated on the sending node is recycled
-// when the receiving node releases it. Pools are not safe for concurrent
-// use; the single-threaded engine of each cluster serializes access, and
-// concurrent sweeps use one pool per cluster.
+// when the receiving node releases it. A pool is single-threaded by default
+// (the cluster's one engine serializes access, and concurrent sweeps use
+// one pool per cluster); a cluster sharding across engines calls Share once
+// at build time to put the free list behind a mutex.
 type Pool struct {
-	free []*Frame
+	shared bool
+	mu     sync.Mutex
+	free   []*Frame
 }
 
 // NewPool returns an empty frame pool.
 func NewPool() *Pool { return &Pool{} }
 
+// Share makes the pool safe for concurrent Get/Release from multiple shard
+// goroutines. Call before first use; there is no way back.
+func (p *Pool) Share() { p.shared = true }
+
+// take pops a free frame, or nil when the list is empty.
+func (p *Pool) take() *Frame {
+	if p.shared {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	n := len(p.free)
+	if n == 0 {
+		return nil
+	}
+	f := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	return f
+}
+
+// put returns a dead frame to the free list.
+func (p *Pool) put(f *Frame) {
+	if p.shared {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
+	p.free = append(p.free, f)
+}
+
 // Get returns a frame initialized exactly like NewFrame, holding one
 // reference, recycling a free frame when available.
 func (p *Pool) Get(src, dst MAC, h Header, payload []byte, payloadLen int) *Frame {
-	var f *Frame
-	if n := len(p.free); n > 0 {
-		f = p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-	} else {
+	f := p.take()
+	if f == nil {
 		f = &Frame{pool: p}
 	}
 	if payload != nil {
@@ -295,7 +327,7 @@ func (p *Pool) Get(src, dst MAC, h Header, payload []byte, payloadLen int) *Fram
 	f.Header = h
 	f.Payload = payload
 	f.PayloadLen = payloadLen
-	f.refs = 1
+	atomic.StoreInt32(&f.refs, 1)
 	return f
 }
 

@@ -67,7 +67,10 @@ const (
 func ParseStrategy(name string) (Strategy, error) { return nic.ParseStrategy(name) }
 
 // Config describes a simulated testbed; the zero value is not useful, start
-// from PaperPlatform.
+// from PaperPlatform. Config.Parallelism shards the cluster across that
+// many engines running conservatively in parallel (lookahead = the
+// output-queued fabric's wire latency); results are bit-identical at any
+// value, so it is purely a wall-clock knob for large clusters.
 type Config = cluster.Config
 
 // Cluster is a wired testbed (hosts, NICs, switch, Open-MX stacks).
