@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"openmxsim/internal/chaos"
 	"openmxsim/internal/cliflag"
 	"openmxsim/internal/cluster"
 	"openmxsim/internal/exp"
@@ -47,6 +48,8 @@ func main() {
 	bg := flag.Int("bg", 0, "background bulk streams congesting the receiver port (pingpong)")
 	qframes := flag.Int("qframes", 0, "switch egress queue bound in frames (0 = ideal unbounded port)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	faultFlags := cliflag.Fault()
+	burst := flag.Float64("burst", 1, "loss burstiness: 1 applies -drop as a uniform static fault; > 1 moves -drop into a bursty Gilbert-Elliott scenario of this mean episode length")
 	sched := cliflag.Sched()
 	par := cliflag.Par()
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
@@ -81,6 +84,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fault, err := faultFlags.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *burst > 1 && fault != nil && fault.DropProb > 0 {
+		// Bursty loss needs per-frame chain state: route the drop
+		// probability through the chaos scenario layer instead of the
+		// static fault, leaving any dup/delay knobs where they were.
+		cfg.Scenario = &chaos.Scenario{Loss: chaos.Bursty(fault.DropProb, *burst), Seed: *seed}
+		fault.DropProb = 0
+		if fault.DupProb == 0 && fault.DelayProb == 0 {
+			fault = nil
+		}
+	}
+	cfg.Fault = fault
 
 	// emit prints v as JSON when -json is set; otherwise it runs text().
 	emit := func(v any, text func()) {

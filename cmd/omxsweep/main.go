@@ -42,6 +42,8 @@ func run() int {
 	nodes := flag.String("nodes", "2", "comma-separated cluster node counts")
 	bg := flag.String("bg", "0", "comma-separated background bulk-stream counts (congest the ping-pong)")
 	seeds := flag.String("seeds", "1", "comma-separated simulation seeds")
+	drops := flag.String("drop", "0", "comma-separated loss-rate axis in [0,1) (0 = clean fabric, no scenario installed)")
+	bursts := flag.String("burst", "1", "comma-separated loss-burst axis: mean loss-episode length at equal average rate")
 	iters := flag.Int("iters", 30, "ping-pong iterations per point")
 	rate := flag.Bool("rate", false, "also measure message rate at every point")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
@@ -83,7 +85,7 @@ func run() int {
 		}()
 	}
 
-	grid, err := buildGrid(*strategies, *delays, *sizes, *irq, *queues, *nodes, *bg, *seeds)
+	grid, err := buildGrid(*strategies, *delays, *sizes, *irq, *queues, *nodes, *bg, *seeds, *drops, *bursts)
 	if err != nil {
 		return fail(err)
 	}
@@ -142,7 +144,7 @@ func emit(path string, fn func(w io.Writer) error) error {
 
 // buildGrid assembles the sweep grid from the axis flags via the shared
 // cliflag parsers (the same vocabulary as omxsim and omxtune).
-func buildGrid(strategies, delays, sizes, irq, queues, nodes, bg, seeds string) (sweep.Grid, error) {
+func buildGrid(strategies, delays, sizes, irq, queues, nodes, bg, seeds, drops, bursts string) (sweep.Grid, error) {
 	var g sweep.Grid
 	var err error
 	if g.Strategies, err = cliflag.Strategies(strategies); err != nil {
@@ -167,6 +169,12 @@ func buildGrid(strategies, delays, sizes, irq, queues, nodes, bg, seeds string) 
 		return g, err
 	}
 	if g.Seeds, err = cliflag.Uint64s(seeds, "seed"); err != nil {
+		return g, err
+	}
+	if g.DropProb, err = cliflag.Float64s(drops, "drop probability"); err != nil {
+		return g, err
+	}
+	if g.Burst, err = cliflag.Float64s(bursts, "burst length"); err != nil {
 		return g, err
 	}
 	return g, nil

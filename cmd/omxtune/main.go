@@ -45,6 +45,8 @@ func run() int {
 	weight := flag.Float64("weight", 0.5, "latency weight in [0,1]: 1 chases latency, 0 interrupt load")
 	workers := flag.Int("workers", 0, "worker goroutines per search round (0 = GOMAXPROCS)")
 	par := cliflag.Par()
+	drop := flag.Float64("drop", 0, "tune under bursty loss of this stationary rate in [0,1) (0 = clean fabric)")
+	burst := flag.Float64("burst", 1, "mean loss-episode length for -drop (1 = uniform loss)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.Bool("json", false, "emit the full outcome as JSON instead of text")
 	sched := cliflag.Sched()
@@ -74,6 +76,8 @@ func run() int {
 		Size:          *size,
 		Nodes:         *nodes,
 		BgStreams:     *bg,
+		DropProb:      *drop,
+		Burst:         *burst,
 		Iters:         *iters,
 		Seed:          *seed,
 		Rate:          *rate,

@@ -1,0 +1,244 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"openmxsim/internal/sim"
+)
+
+func TestLinkFlapWindows(t *testing.T) {
+	ms := sim.Millisecond
+	cases := []struct {
+		name string
+		lf   LinkFlap
+		t    sim.Time
+		want bool
+	}{
+		{"one-shot before", LinkFlap{DownAt: 10 * ms, UpAt: 20 * ms}, 9 * ms, false},
+		{"one-shot start inclusive", LinkFlap{DownAt: 10 * ms, UpAt: 20 * ms}, 10 * ms, true},
+		{"one-shot inside", LinkFlap{DownAt: 10 * ms, UpAt: 20 * ms}, 15 * ms, true},
+		{"one-shot end exclusive", LinkFlap{DownAt: 10 * ms, UpAt: 20 * ms}, 20 * ms, false},
+		{"permanent equal bounds", LinkFlap{DownAt: 10 * ms, UpAt: 10 * ms}, 1000 * ms, true},
+		{"permanent zero UpAt", LinkFlap{DownAt: 10 * ms}, 10 * ms, true},
+		{"permanent before start", LinkFlap{DownAt: 10 * ms}, 9 * ms, false},
+		{"periodic first window", LinkFlap{DownAt: 10 * ms, UpAt: 12 * ms, Period: 100 * ms}, 11 * ms, true},
+		{"periodic gap", LinkFlap{DownAt: 10 * ms, UpAt: 12 * ms, Period: 100 * ms}, 50 * ms, false},
+		{"periodic second window", LinkFlap{DownAt: 10 * ms, UpAt: 12 * ms, Period: 100 * ms}, 111 * ms, true},
+		{"periodic second gap", LinkFlap{DownAt: 10 * ms, UpAt: 12 * ms, Period: 100 * ms}, 112 * ms, false},
+		{"periodic distant window", LinkFlap{DownAt: 10 * ms, UpAt: 12 * ms, Period: 100 * ms}, 910*ms + 500, true},
+		{"periodic before first", LinkFlap{DownAt: 10 * ms, UpAt: 12 * ms, Period: 100 * ms}, 5 * ms, false},
+	}
+	for _, tc := range cases {
+		if got := tc.lf.down(tc.t); got != tc.want {
+			t.Errorf("%s: down(%v) = %v, want %v", tc.name, tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestBurstyStationaryLoss(t *testing.T) {
+	for _, tc := range []struct{ p, burst float64 }{
+		{0.01, 1}, {0.01, 4}, {0.05, 8}, {0.2, 16}, {0.4, 2},
+	} {
+		ge := Bursty(tc.p, tc.burst)
+		if got := ge.Loss(); math.Abs(got-tc.p) > 1e-12 {
+			t.Errorf("Bursty(%g, %g).Loss() = %g, want %g", tc.p, tc.burst, got, tc.p)
+		}
+	}
+	if ge := Bursty(0, 8); ge.Loss() != 0 {
+		t.Errorf("Bursty(0, 8).Loss() = %g, want 0", ge.Loss())
+	}
+	if ge := Bursty(1, 8); ge.Loss() != 1 {
+		t.Errorf("Bursty(1, 8).Loss() = %g, want 1", ge.Loss())
+	}
+	// burst <= 1 degenerates to Bernoulli: both states lose at rate p.
+	ge := Bursty(0.03, 0.5)
+	if ge.GoodLoss != 0.03 || ge.BadLoss != 0.03 {
+		t.Errorf("Bursty(0.03, 0.5) = %+v, want uniform 0.03", ge)
+	}
+}
+
+// TestEngineEmpiricalLoss drives the per-node chain with many frames and
+// checks the realized drop rate converges on the stationary target, for
+// uniform and bursty shapes alike.
+func TestEngineEmpiricalLoss(t *testing.T) {
+	const frames = 200_000
+	for _, tc := range []struct{ p, burst float64 }{
+		{0.02, 1}, {0.02, 8}, {0.1, 4},
+	} {
+		e, err := New(Scenario{Loss: Bursty(tc.p, tc.burst), Seed: 9}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drops := 0
+		for i := 0; i < frames; i++ {
+			if e.Decide(0, 1, sim.Time(i), nil).Drop {
+				drops++
+			}
+		}
+		got := float64(drops) / frames
+		// Bursty chains mix slowly, so allow 15% relative slack.
+		if math.Abs(got-tc.p) > 0.15*tc.p {
+			t.Errorf("Bursty(%g, %g): empirical loss %g over %d frames", tc.p, tc.burst, got, frames)
+		}
+		st := e.Stats()
+		if st.GEDrops != uint64(drops) {
+			t.Errorf("GEDrops = %d, want %d", st.GEDrops, drops)
+		}
+		if tc.burst > 1 && st.Transitions == 0 {
+			t.Errorf("Bursty(%g, %g): chain never left Good", tc.p, tc.burst)
+		}
+	}
+}
+
+// TestDecideDeterministic requires two engines built from the same
+// scenario to make bit-identical per-frame decisions — the property the
+// par-N equivalence of every resilience experiment rests on.
+func TestDecideDeterministic(t *testing.T) {
+	sc := Scenario{
+		Flaps:   []LinkFlap{{Node: 1, DownAt: 5 * sim.Millisecond, UpAt: 6 * sim.Millisecond}},
+		Loss:    Bursty(0.05, 4),
+		Degrade: []Degrade{{Node: 0, From: 2 * sim.Millisecond, Until: 3 * sim.Millisecond, Factor: 4}},
+		Seed:    1234,
+	}
+	build := func() *Engine {
+		e, err := New(sc, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e1, e2 := build(), build()
+	for i := 0; i < 50_000; i++ {
+		now := sim.Time(i) * 200
+		src, dst := i%3, (i+1)%3
+		d1 := e1.Decide(src, dst, now, nil)
+		d2 := e2.Decide(src, dst, now, nil)
+		if d1 != d2 {
+			t.Fatalf("frame %d: decisions diverge: %+v vs %+v", i, d1, d2)
+		}
+	}
+	if e1.Stats() != e2.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", e1.Stats(), e2.Stats())
+	}
+}
+
+// TestDecidePerNodeStreams checks that interleaving order across source
+// nodes does not change any single node's decision sequence: node state is
+// keyed by source, which is what makes shard layout invisible.
+func TestDecidePerNodeStreams(t *testing.T) {
+	sc := Scenario{Loss: Bursty(0.1, 4), Seed: 77}
+	solo, err := New(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []bool
+	for i := 0; i < 10_000; i++ {
+		want = append(want, solo.Decide(0, 1, sim.Time(i), nil).Drop)
+	}
+	mixed, err := New(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		// Node 1's draws are interleaved; node 0's sequence must not move.
+		mixed.Decide(1, 0, sim.Time(i), nil)
+		if got := mixed.Decide(0, 1, sim.Time(i), nil).Drop; got != want[i] {
+			t.Fatalf("frame %d: node 0 decision changed when node 1 traffic interleaved", i)
+		}
+	}
+}
+
+func TestDecideFlapAndDegrade(t *testing.T) {
+	ms := sim.Millisecond
+	sc := Scenario{
+		Flaps:   []LinkFlap{{Node: 1, DownAt: 10 * ms, UpAt: 20 * ms}},
+		Degrade: []Degrade{{Node: 0, From: 30 * ms, Until: 40 * ms, Factor: 5}},
+		Seed:    1,
+	}
+	e, err := New(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down destination drops frames from either side; charged to source.
+	if !e.Decide(0, 1, 15*ms, nil).Drop {
+		t.Error("frame toward down node not dropped")
+	}
+	if !e.Decide(1, 0, 15*ms, nil).Drop {
+		t.Error("frame from down node not dropped")
+	}
+	if e.Decide(0, 1, 25*ms, nil).Drop {
+		t.Error("frame dropped after link came back")
+	}
+	if d := e.Decide(0, 1, 35*ms, nil); d.SerScale != 5 {
+		t.Errorf("degraded SerScale = %g, want 5", d.SerScale)
+	}
+	if d := e.Decide(0, 1, 45*ms, nil); d.SerScale > 1 {
+		t.Errorf("SerScale = %g after degradation window", d.SerScale)
+	}
+	st := e.Stats()
+	if st.FlapDrops != 2 || st.Degraded != 1 {
+		t.Errorf("stats = %+v, want 2 flap drops and 1 degraded", st)
+	}
+	if e.NodeStats(0).FlapDrops != 1 || e.NodeStats(1).FlapDrops != 1 {
+		t.Errorf("per-node flap drops = %+v / %+v, want 1 each",
+			e.NodeStats(0), e.NodeStats(1))
+	}
+	// Unknown source node: windows still apply, no chain state mutates.
+	if !e.Decide(9, 1, 15*ms, nil).Drop {
+		t.Error("unknown-node frame toward down node not dropped")
+	}
+	if e.NodeStats(9) != (NodeStats{}) {
+		t.Errorf("unknown node grew stats: %+v", e.NodeStats(9))
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	ms := sim.Millisecond
+	bad := []Scenario{
+		{Flaps: []LinkFlap{{Node: -1}}},
+		{Flaps: []LinkFlap{{DownAt: -ms}}},
+		{Flaps: []LinkFlap{{Period: -ms}}},
+		{Flaps: []LinkFlap{{DownAt: 0, UpAt: 5 * ms, Period: 2 * ms}}},
+		{Loss: &GilbertElliott{GoodLoss: 1.5}},
+		{Loss: &GilbertElliott{PBadGood: -0.1}},
+		{Degrade: []Degrade{{Node: -2}}},
+		{Degrade: []Degrade{{Factor: -1}}},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("bad scenario %d validated: %+v", i, sc)
+		}
+	}
+	good := Scenario{
+		Flaps:   []LinkFlap{{Node: 0, DownAt: ms, UpAt: 2 * ms, Period: 10 * ms}},
+		Loss:    Bursty(0.01, 8),
+		Degrade: []Degrade{{Node: 1, From: ms, Factor: 2}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good scenario rejected: %v", err)
+	}
+}
+
+func TestScenarioEdges(t *testing.T) {
+	ms := sim.Millisecond
+	sc := Scenario{Flaps: []LinkFlap{
+		{Node: 0, DownAt: 30 * ms, UpAt: 40 * ms},
+		{Node: 0, DownAt: 10 * ms}, // permanent: down edge only
+		{Node: 1, DownAt: 5 * ms, UpAt: 6 * ms},
+		{Node: 0, DownAt: 50 * ms, UpAt: 51 * ms, Period: 100 * ms}, // first window only
+	}}
+	got := sc.Edges(0)
+	want := []sim.Time{10 * ms, 30 * ms, 40 * ms, 50 * ms, 51 * ms}
+	if len(got) != len(want) {
+		t.Fatalf("Edges(0) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Edges(0) = %v, want %v", got, want)
+		}
+	}
+	if n := len(sc.Edges(2)); n != 0 {
+		t.Errorf("Edges(2) returned %d edges for a node with no flaps", n)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"openmxsim/internal/fabric"
 	"openmxsim/internal/host"
 	"openmxsim/internal/nic"
 	"openmxsim/internal/sim"
@@ -127,6 +128,69 @@ func Uint64s(spec, what string) ([]uint64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// Float64s parses a comma-separated float list (probability axes).
+func Float64s(spec, what string) ([]float64, error) {
+	var out []float64
+	for _, s := range Split(spec) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad %s %q: %v", what, s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// FaultFlags holds the static fault-injection flag group registered by
+// Fault: uniform per-frame drop/duplicate/delay probabilities applied to
+// every frame of the run (fabric.Fault). Time-varying faults (flaps,
+// bursty loss) are the chaos scenario layer's job, not these knobs'.
+type FaultFlags struct {
+	Drop      *float64
+	Dup       *float64
+	DelayProb *float64
+	DelayUS   *int
+}
+
+// Fault registers the canonical static fault flags (-drop, -dup, -delayp,
+// -delayt) on the default flag set.
+func Fault() *FaultFlags {
+	return &FaultFlags{
+		Drop:      flag.Float64("drop", 0, "per-frame drop probability in [0,1)"),
+		Dup:       flag.Float64("dup", 0, "per-frame duplicate probability in [0,1)"),
+		DelayProb: flag.Float64("delayp", 0, "per-frame reorder-delay probability in [0,1)"),
+		DelayUS:   flag.Int("delayt", 100, "reorder hold-back in us for frames -delayp selects"),
+	}
+}
+
+// Build validates the parsed values and assembles the fault, or nil when
+// every probability is zero (no fault injected, frozen fast paths
+// untouched).
+func (ff *FaultFlags) Build() (*fabric.Fault, error) {
+	for _, v := range []struct {
+		name string
+		p    float64
+	}{
+		{"-drop", *ff.Drop}, {"-dup", *ff.Dup}, {"-delayp", *ff.DelayProb},
+	} {
+		if v.p < 0 || v.p >= 1 {
+			return nil, fmt.Errorf("%s %g outside [0,1)", v.name, v.p)
+		}
+	}
+	if *ff.DelayUS < 0 {
+		return nil, fmt.Errorf("-delayt %d is negative", *ff.DelayUS)
+	}
+	if *ff.Drop == 0 && *ff.Dup == 0 && *ff.DelayProb == 0 {
+		return nil, nil
+	}
+	return &fabric.Fault{
+		DropProb:  *ff.Drop,
+		DupProb:   *ff.Dup,
+		DelayProb: *ff.DelayProb,
+		DelayTime: DelayUS(*ff.DelayUS),
+	}, nil
 }
 
 // Split breaks a comma-separated list, trimming blanks and dropping empty

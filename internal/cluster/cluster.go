@@ -7,6 +7,7 @@ package cluster
 import (
 	"fmt"
 
+	"openmxsim/internal/chaos"
 	"openmxsim/internal/fabric"
 	"openmxsim/internal/host"
 	"openmxsim/internal/nic"
@@ -59,8 +60,15 @@ type Config struct {
 	Params *params.Params
 	// Mark overrides the sender marking policy when non-nil.
 	Mark *omx.MarkPolicy
-	// Fault installs network fault injection.
+	// Fault installs static network fault injection (uniform per-frame
+	// drop/duplicate/delay probabilities).
 	Fault *fabric.Fault
+	// Scenario installs a time-varying fault plan — link flaps,
+	// Gilbert–Elliott bursty loss, bandwidth degradation — evaluated by a
+	// chaos.Engine composed onto the fabric's fault hook. Scenario and
+	// Fault compose: the scenario decides first, the static probabilities
+	// still apply to frames it lets through.
+	Scenario *chaos.Scenario
 }
 
 // Paper returns the paper's evaluation platform: two 8-core nodes, default
@@ -113,6 +121,11 @@ func (c Config) Validate() error {
 	if c.IRQPolicy < host.IRQRoundRobin || c.IRQPolicy > host.IRQPerQueue {
 		return fmt.Errorf("cluster: unknown IRQ policy %d", int(c.IRQPolicy))
 	}
+	if c.Scenario != nil {
+		if err := c.Scenario.Validate(); err != nil {
+			return err
+		}
+	}
 	p := c.Params
 	if p == nil {
 		p = params.Default()
@@ -153,9 +166,15 @@ type Cluster struct {
 	NICs    []*nic.NIC
 	Stacks  []*omx.Stack
 	RNG     *sim.RNG
+	// Chaos is the scenario evaluation engine when Config.Scenario is
+	// set (nil otherwise); its counters report what the scenario did.
+	Chaos *chaos.Engine
 
 	group   *sim.Group
 	shardOf []int // node index -> shard index
+	// flapEdges counts scenario flap-edge marker events fired per node.
+	// Each slot is only written from the owning shard's engine.
+	flapEdges []uint64
 }
 
 // resolvePar maps the configured Parallelism to the effective shard count:
@@ -194,8 +213,27 @@ func New(cfg Config) *Cluster {
 	rng := sim.NewRNG(cfg.Seed)
 	sw := fabric.NewSwitch(eng, p.Link, rng.Derive(0xFA))
 	sw.SetTopology(cfg.Topology)
-	if cfg.Fault != nil {
-		sw.SetFault(cfg.Fault)
+	// Compose the scenario hook onto the static fault plan. The caller's
+	// Fault is copied, never mutated; with no scenario the original
+	// pointer is installed untouched, keeping pre-existing configurations
+	// bit-identical.
+	fault := cfg.Fault
+	var chaosEng *chaos.Engine
+	if cfg.Scenario != nil {
+		ce, err := chaos.New(*cfg.Scenario, cfg.Nodes)
+		if err != nil {
+			panic(err) // Validate caught everything reachable here
+		}
+		chaosEng = ce
+		fl := fabric.Fault{}
+		if cfg.Fault != nil {
+			fl = *cfg.Fault
+		}
+		fl.Hook = ce
+		fault = &fl
+	}
+	if fault != nil {
+		sw.SetFault(fault)
 	}
 
 	par := resolvePar(cfg, sw.Lookahead())
@@ -253,7 +291,34 @@ func New(cfg Config) *Cluster {
 	for node, bps := range cfg.Topology.PortBandwidthBps {
 		sw.SetPortBandwidth(wire.NodeMAC(node), bps)
 	}
+	if chaosEng != nil {
+		c.Chaos = chaosEng
+		// Mark each one-shot flap edge with an event on the owning
+		// node's shard engine: a trace of the run shows when the
+		// scenario acted, and an otherwise idle shard still advances its
+		// clock across the edge. Periodic flaps beyond the first window
+		// are evaluated arithmetically (an unbounded edge train would
+		// keep the engines from draining), so the marker set is finite.
+		c.flapEdges = make([]uint64, cfg.Nodes)
+		for node := 0; node < cfg.Nodes; node++ {
+			n := node
+			for _, at := range cfg.Scenario.Edges(node) {
+				c.ScheduleOn(n, at, func() { c.flapEdges[n]++ })
+			}
+		}
+	}
 	return c
+}
+
+// FlapEdges returns how many scenario flap-edge markers have fired so
+// far across all nodes. Call it at a quiescent point (after Run or
+// between RunUntil windows), like every cross-shard counter read.
+func (c *Cluster) FlapEdges() uint64 {
+	var t uint64
+	for _, n := range c.flapEdges {
+		t += n
+	}
+	return t
 }
 
 // Parallelism returns the resolved shard count (>= 1; see Config).

@@ -14,7 +14,7 @@ import "testing"
 func TestReportsBitIdenticalAcrossParallelism(t *testing.T) {
 	ids := IDs()
 	if testing.Short() || !fullDiffRegistry {
-		ids = []string{"fig5", "table2", "table3", "sweep", "incast"}
+		ids = []string{"fig5", "table2", "table3", "sweep", "incast", "resilience-incast"}
 	}
 	seeds := []uint64{1, 7}
 	for _, id := range ids {

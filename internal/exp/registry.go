@@ -33,6 +33,9 @@ var registry = []struct {
 	{"incast", "N senders -> 1 receiver: rate and interrupts vs fan-in (shared-fabric extension)", Incast},
 	{"congested-pingpong", "Fig. 5 ping-pong with background bulk streams on the receiver port", CongestedPingPong},
 	{"pareto", "Pareto frontier of the fig4-6 tradeoff grid: dominated-point tagging + knee selection", Pareto},
+	{"resilience", "latency/interrupt knee vs loss rate and burstiness (robustness counters per point)", Resilience},
+	{"resilience-incast", "incast under bursty loss on a sharded cluster: rate vs protocol recovery work", ResilienceIncast},
+	{"resilience-flap", "link flap vs the retry budget: transient recovery, bounded give-up, quiet watchdog", ResilienceFlap},
 	{"autotune", "adaptive tradeoff search vs exhaustive frontier: same knee, fraction of the evaluations", Autotune},
 }
 

@@ -192,12 +192,61 @@ type Fault struct {
 	DelayProb float64
 	// DelayTime is the hold-back applied to delayed frames.
 	DelayTime sim.Time
-	// Filter, when non-nil, restricts the fault to matching frames.
+	// Filter, when non-nil, restricts the static fault probabilities
+	// above to matching frames (it does not gate Hook, which carries its
+	// own filtering).
+	//
+	// Thread-safety contract under Parallelism > 1: the filter runs on
+	// the shard-owned send paths, so within a barrier window it is
+	// invoked concurrently from every shard goroutine. It must therefore
+	// be safe for concurrent use: reading the frame and immutable
+	// configuration is always fine; mutating shared state (counters,
+	// maps, slices) requires the filter's own synchronization. And
+	// because shard layout changes the interleaving of those calls, a
+	// filter whose *decisions* depend on mutable shared state forfeits
+	// the bit-identical-at-any-par guarantee — keep decision state keyed
+	// per source node (see internal/chaos) or make the filter pure.
 	Filter func(*wire.Frame) bool
+	// Hook, when non-nil, is consulted per frame before the static
+	// probabilities and may drop, delay, or stretch the frame's
+	// serialization — the extension point for time-varying fault
+	// scenarios (link flaps, bursty loss, bandwidth degradation; see
+	// internal/chaos). The same concurrency rules as Filter apply:
+	// Decide runs on the source port's shard, so implementations must
+	// key mutable state (Markov chains, RNG streams) by source node.
+	Hook Hook
+}
+
+// Decision is a Hook's verdict on one frame.
+type Decision struct {
+	// Drop loses the frame before it occupies the sender's wire (a down
+	// link transmits nothing).
+	Drop bool
+	// Delay holds the frame back at the switch, reordering it behind
+	// later traffic.
+	Delay sim.Time
+	// SerScale stretches the frame's serialization time when > 1
+	// (transient bandwidth degradation); values <= 1 leave it unchanged.
+	SerScale float64
+}
+
+// Hook decides time-varying per-frame faults. src and dst are the node
+// indices of the frame's source and destination ports (wire.MAC.NodeIndex)
+// and now is the source shard's current virtual time.
+type Hook interface {
+	Decide(src, dst int, now sim.Time, f *wire.Frame) Decision
 }
 
 func (fl *Fault) matches(f *wire.Frame) bool {
 	return fl != nil && (fl.Filter == nil || fl.Filter(f))
+}
+
+// hook returns the installed scenario hook, if any.
+func (s *Switch) hook() Hook {
+	if s.fault == nil {
+		return nil
+	}
+	return s.fault.Hook
 }
 
 // PortStats are the per-egress-port counters of the switch. In the direct
@@ -275,6 +324,7 @@ type port struct {
 	mac  wire.MAC
 	rx   Receiver
 	link params.Link // egress link (per-port bandwidth overrides)
+	node int         // wire.MAC.NodeIndex of mac, passed to scenario hooks
 
 	// Shard binding: all events touching this port's state run on eng
 	// (shard 0 / the switch's engine until BindPort says otherwise). rng is
@@ -346,6 +396,7 @@ func (s *Switch) Attach(mac wire.MAC, rx Receiver) {
 		mac:     mac,
 		rx:      rx,
 		link:    s.link,
+		node:    int(idx),
 		eng:     s.eng,
 		rng:     s.rng.Derive(0xF0<<56 | idx),
 		priBase: (idx + 1) << 40,
@@ -478,6 +529,24 @@ func (s *Switch) sendDirect(src, dst *port, f *wire.Frame) {
 	now := s.eng.Now()
 	ser := s.link.SerializationTime(f.WireBytes())
 
+	// Scenario hook: consulted before any horizon arithmetic, so a
+	// hook-dropped frame never occupies the wire. When no hook is
+	// installed (every pre-existing configuration) this path — timing and
+	// RNG draws alike — is untouched.
+	var hookDelay sim.Time
+	if h := s.hook(); h != nil {
+		d := h.Decide(src.node, dst.node, now, f)
+		if d.Drop {
+			src.faultDrops++
+			f.Release()
+			return
+		}
+		if d.SerScale > 1 {
+			ser = sim.Time(float64(ser) * d.SerScale)
+		}
+		hookDelay = d.Delay
+	}
+
 	// Ingress: the sender's wire is busy until the frame has left the NIC.
 	start := now
 	if src.ingressBusy > start {
@@ -488,7 +557,7 @@ func (s *Switch) sendDirect(src, dst *port, f *wire.Frame) {
 
 	// Store-and-forward switch latency, then egress serialization toward
 	// the destination (shared by all flows targeting that port).
-	ready := atSwitch + s.link.SwitchLatency
+	ready := atSwitch + s.link.SwitchLatency + hookDelay
 	egStart := ready
 	if dst.egressBusy > egStart {
 		egStart = dst.egressBusy
@@ -528,13 +597,30 @@ func (s *Switch) sendQueued(src, dst *port, f *wire.Frame) {
 	// model the egress direction only (SetPortBandwidth's contract).
 	ser := s.link.SerializationTime(f.WireBytes())
 
+	// Scenario hook, before any source-port state changes: a down link
+	// transmits nothing. Decide runs on the source port's shard, keyed by
+	// source node, which is what makes time-varying hook state par-safe.
+	var hookDelay sim.Time
+	if h := s.hook(); h != nil {
+		d := h.Decide(src.node, dst.node, now, f)
+		if d.Drop {
+			src.faultDrops++
+			f.Release()
+			return
+		}
+		if d.SerScale > 1 {
+			ser = sim.Time(float64(ser) * d.SerScale)
+		}
+		hookDelay = d.Delay
+	}
+
 	start := now
 	if src.ingressBusy > start {
 		start = src.ingressBusy
 	}
 	atSwitch := start + ser + s.link.PropagationDelay
 	src.ingressBusy = start + ser
-	ready := atSwitch + s.link.SwitchLatency
+	ready := atSwitch + s.link.SwitchLatency + hookDelay
 
 	// Fault injection happens at the switch, before the egress queue: a
 	// dropped frame never occupies buffer space. Draws come from the source

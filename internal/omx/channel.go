@@ -1,6 +1,9 @@
 package omx
 
 import (
+	"sort"
+
+	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
 	"openmxsim/internal/wire"
 )
@@ -18,16 +21,29 @@ type channel struct {
 	ep     *Endpoint
 	remote Addr
 
-	connected  bool
-	connectCbs []func()
-	connectTry *sim.Event
+	connected       bool
+	connectCbs      []func()
+	connectTry      *sim.Event
+	connectAttempts int
 
-	// Sender-side reliability state.
-	nextSeq      uint32
-	firstUnacked uint32
-	txq          []*txPacket // waiting for window
-	retained     []*txPacket // sent, not yet acked
-	resendTimer  *sim.Event
+	// failed is set once the channel gives up (retry budget exhausted or
+	// endpoint closed); every subsequent send completes immediately with
+	// this error.
+	failed error
+	// rng jitters the backed-off retry delays. It is derived per channel
+	// and never consumed on clean runs (the first resend after ack
+	// progress always waits exactly ResendTimeout).
+	rng *sim.RNG
+
+	// Sender-side reliability state. resendAttempts counts consecutive
+	// resend-timer expiries without ack progress; it drives the
+	// exponential backoff and the MaxResends give-up.
+	nextSeq        uint32
+	firstUnacked   uint32
+	txq            []*txPacket // waiting for window
+	retained       []*txPacket // sent, not yet acked
+	resendTimer    *sim.Event
+	resendAttempts int
 
 	// Receiver-side reliability state. recvNext is the next expected
 	// (contiguous) sequence; consumedTo is how far the library has
@@ -78,9 +94,12 @@ type mediumReasm struct {
 }
 
 func newChannel(ep *Endpoint, remote Addr) *channel {
+	key := uint64(remote.MAC[3])<<32 | uint64(remote.MAC[4])<<24 |
+		uint64(remote.MAC[5])<<16 | uint64(remote.EP)<<8 | uint64(ep.ID)
 	c := &channel{
 		ep:           ep,
 		remote:       remote,
+		rng:          ep.stack.rng.Derive(0xBACC<<44 | key),
 		recvSeen:     make(map[uint32]struct{}),
 		lastRxCoreID: -1,
 	}
@@ -121,7 +140,12 @@ func (c *channel) inWindow(seq uint32) bool {
 // the packet is handed to the NIC; both must outlive the packet (use
 // long-lived callbacks). The caller's frame reference becomes the channel's
 // retention reference, released once the packet is cumulatively acked.
+// Sends on a failed channel complete immediately with the channel's error.
 func (c *channel) send(f *wire.Frame, fn func(any), arg any) {
+	if c.failed != nil {
+		c.failSend(f, fn, arg, c.failed)
+		return
+	}
 	pk := c.stack().getTx(f, c.nextSeq, fn, arg)
 	f.Header.Seq = pk.seq
 	c.nextSeq++
@@ -158,18 +182,139 @@ func (c *channel) armResend() {
 	if c.resendTimer != nil {
 		return
 	}
-	c.resendTimer = c.stack().eng.After(c.stack().p.Proto.ResendTimeout, c.resendFn)
+	s := c.stack()
+	d := s.p.Proto.ResendTimeout
+	if c.resendAttempts > 0 {
+		// Consecutive expiries without ack progress back off
+		// exponentially (with deterministic jitter) instead of hammering
+		// a congested or dead link at a fixed period.
+		d = backoffDelay(&s.p.Proto, c.rng, c.resendAttempts)
+		s.Stats.Backoffs++
+	}
+	c.resendTimer = s.eng.After(d, c.resendFn)
+}
+
+// backoffDelay returns the bounded-exponential retry delay for the given
+// consecutive-attempt count, jittered deterministically from rng so peers
+// that timed out together desynchronize identically on every run.
+func backoffDelay(p *params.Proto, rng *sim.RNG, attempts int) sim.Time {
+	if attempts > 20 {
+		attempts = 20 // avoid shifting into the sign bit
+	}
+	d := p.ResendTimeout << uint(attempts)
+	if p.ResendBackoffMax > 0 && d > p.ResendBackoffMax {
+		d = p.ResendBackoffMax
+	}
+	return d + sim.Time(rng.Intn(int(d/8)+1))
 }
 
 // retransmit resends every unacked packet (go-back-N recovery). Copies go
 // on the wire so the retained originals stay valid for the next timeout.
+// After MaxResends consecutive timer expiries without ack progress the
+// channel gives up instead of retrying forever.
 func (c *channel) retransmit() {
 	s := c.stack()
+	if mr := s.p.Proto.MaxResends; mr > 0 && c.resendAttempts >= mr {
+		c.giveUp(ErrGiveUp)
+		return
+	}
+	c.resendAttempts++
 	for _, pk := range c.retained {
 		s.Stats.Retransmits++
 		s.sendFrame(s.pool.Clone(pk.frame))
 	}
 	c.armResend()
+}
+
+// giveUp abandons the channel: the retry budget is exhausted (or the
+// endpoint is closing), so retained and queued packets are dropped, their
+// handles complete with err, and large sends toward the peer — which wait
+// for a Notify that can never arrive — fail too. Pending connect callbacks
+// are discarded; run-level liveness is the watchdog's job.
+func (c *channel) giveUp(err error) {
+	if c.failed != nil {
+		return
+	}
+	c.stack().Stats.GiveUps++
+	c.teardown(err)
+
+	// Sender-side large messages toward this peer, in msgID order so the
+	// completion sequence is independent of map iteration.
+	var ids []uint32
+	for id, ls := range c.ep.pullSrc {
+		if ls.dst == c.remote {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ls := c.ep.pullSrc[id]
+		delete(c.ep.pullSrc, id)
+		ls.handle.fail(err)
+	}
+}
+
+// teardown marks the channel failed and flushes every queued packet and
+// timer. Draining txq may cascade (a failed medium's completion hands its
+// send slot to the next pending medium, whose fragments then fail through
+// the send fast path), which is why failed is set first.
+func (c *channel) teardown(err error) {
+	s := c.stack()
+	if c.failed == nil {
+		c.failed = err
+	}
+	if c.resendTimer != nil {
+		c.resendTimer.Cancel()
+		c.resendTimer = nil
+	}
+	if c.connectTry != nil {
+		c.connectTry.Cancel()
+		c.connectTry = nil
+	}
+	c.connectCbs = nil
+	for _, pk := range c.retained {
+		// Handed to the NIC already: the handoff callback ran at pump
+		// time, only the retention reference remains.
+		pk.frame.Release()
+		s.putTx(pk)
+	}
+	c.retained = c.retained[:0]
+	for len(c.txq) > 0 {
+		pk := c.txq[0]
+		copy(c.txq, c.txq[1:])
+		c.txq[len(c.txq)-1] = nil
+		c.txq = c.txq[:len(c.txq)-1]
+		c.failSend(pk.frame, pk.fn, pk.arg, err)
+		s.putTx(pk)
+	}
+	for _, op := range c.mediumPending {
+		if op.h != nil {
+			op.h.fail(err)
+		}
+		c.ep.putOp(op)
+	}
+	c.mediumPending = nil
+}
+
+// failSend completes a packet's handoff callback with err instead of
+// transmitting, and drops the frame reference. The handle types are
+// recognized by their callback argument so eager and medium completions
+// surface the error uniformly.
+func (c *channel) failSend(f *wire.Frame, fn func(any), arg any, err error) {
+	switch a := arg.(type) {
+	case *SendHandle:
+		if a.Err == nil {
+			a.Err = err
+		}
+	case *sendOp:
+		if a.h != nil && a.h.Err == nil {
+			a.h.Err = err
+		}
+	}
+	if fn != nil {
+		fn(arg)
+	}
+	f.Release()
 }
 
 // onAck processes a cumulative ack: cum is the peer's next-expected seq.
@@ -180,6 +325,7 @@ func (c *channel) onAck(cum uint32) {
 		return // stale
 	}
 	c.firstUnacked = cum
+	c.resendAttempts = 0 // ack progress: the peer is alive, backoff resets
 	keep := c.retained[:0]
 	for _, pk := range c.retained {
 		if int32(pk.seq-cum) >= 0 {

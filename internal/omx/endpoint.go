@@ -12,7 +12,11 @@ import (
 // last fragment is handed to the NIC (buffered semantics); large sends
 // complete when the receiver's Notify arrives (Fig. 3).
 type SendHandle struct {
-	Done   bool
+	Done bool
+	// Err is non-nil when the operation was abandoned rather than
+	// delivered: ErrGiveUp after the retry budget ran out, ErrClosed when
+	// the endpoint closed underneath it.
+	Err    error
 	Size   int
 	onDone func()
 }
@@ -27,10 +31,26 @@ func (h *SendHandle) complete() {
 	}
 }
 
+// fail completes the handle with err (first error wins).
+func (h *SendHandle) fail(err error) {
+	if h.Done {
+		return
+	}
+	if h.Err == nil {
+		h.Err = err
+	}
+	h.complete()
+}
+
 // RecvHandle tracks a posted receive. Matching follows MX semantics: the
 // message matches when (msgMatch & Mask) == (Match & Mask).
 type RecvHandle struct {
-	Done  bool
+	Done bool
+	// Err is non-nil when the receive was abandoned rather than
+	// delivered: ErrGiveUp when a large-message pull exhausted its retry
+	// budget, ErrClosed when the endpoint closed. Len and Buf contents
+	// are meaningless in that case.
+	Err   error
 	Match uint64
 	Mask  uint64
 	// Buf, when non-nil, receives the data; Cap is the logical capacity
@@ -52,6 +72,17 @@ func (h *RecvHandle) complete() {
 	if h.onDone != nil {
 		h.onDone(h)
 	}
+}
+
+// fail completes the handle with err (first error wins).
+func (h *RecvHandle) fail(err error) {
+	if h.Done {
+		return
+	}
+	if h.Err == nil {
+		h.Err = err
+	}
+	h.complete()
 }
 
 func (h *RecvHandle) matches(m uint64) bool {
@@ -113,6 +144,10 @@ type Endpoint struct {
 	stack *Stack
 	ID    uint8
 	core  *host.Core
+	// rng jitters the pull-retry backoff; its stream is derived from the
+	// stack's and never consumed on clean (retry-free) runs.
+	rng    *sim.RNG
+	closed bool
 
 	channels  map[Addr]*channel
 	nextMsgID uint32
@@ -150,6 +185,7 @@ func newEndpoint(s *Stack, id uint8, core *host.Core) *Endpoint {
 		stack:      s,
 		ID:         id,
 		core:       core,
+		rng:        s.rng.Derive(0xE9D0<<40 | uint64(id)),
 		channels:   make(map[Addr]*channel),
 		lastWriter: -1,
 		reasm:      make(map[pullKey]*mediumReasm),
@@ -241,15 +277,25 @@ func (e *Endpoint) Connect(addr Addr, cb func()) {
 }
 
 func (e *Endpoint) sendConnect(c *channel) {
-	if c.connected {
+	if c.connected || c.failed != nil {
 		return
 	}
+	if mr := e.stack.p.Proto.MaxResends; mr > 0 && c.connectAttempts > mr {
+		c.giveUp(ErrGiveUp)
+		return
+	}
+	c.connectAttempts++
 	h := wire.Header{Type: wire.TypeConnect, SrcEP: e.ID, DstEP: c.remote.EP}
 	e.stack.sendFrame(e.stack.newFrame(e.stack.MAC(), c.remote.MAC, h, nil, 0))
 	if c.connectTry != nil {
 		c.connectTry.Cancel()
 	}
-	c.connectTry = e.stack.eng.After(e.stack.p.Proto.ResendTimeout, c.connectRetryFn)
+	d := e.stack.p.Proto.ResendTimeout
+	if c.connectAttempts > 1 {
+		d = backoffDelay(&e.stack.p.Proto, c.rng, c.connectAttempts-1)
+		e.stack.Stats.Backoffs++
+	}
+	c.connectTry = e.stack.eng.After(d, c.connectRetryFn)
 }
 
 // Isend posts a non-blocking send. data may be nil for size-only
@@ -259,6 +305,10 @@ func (e *Endpoint) Isend(dst Addr, match uint64, data []byte, size int, onDone f
 		size = len(data)
 	}
 	h := &SendHandle{Size: size, onDone: onDone}
+	if e.closed {
+		h.fail(ErrClosed)
+		return h
+	}
 	p := e.stack.p
 
 	if local := e.stack.localEndpoint(dst); local != nil {
@@ -284,6 +334,10 @@ func (e *Endpoint) Irecv(match, mask uint64, buf []byte, capacity int, onDone fu
 		capacity = len(buf)
 	}
 	rh := &RecvHandle{Match: match, Mask: mask, Buf: buf, Cap: capacity, onDone: onDone}
+	if e.closed {
+		rh.fail(ErrClosed)
+		return rh
+	}
 	p := e.stack.p
 	cost := p.Lib.RecvPost + p.Lib.Match
 	e.core.SubmitUserArg(cost, e.matchOrPostFn, rh)
@@ -467,6 +521,12 @@ func (e *Endpoint) sendLarge(dst Addr, match uint64, data []byte, size int, h *S
 func (e *Endpoint) largePost(op *sendOp) {
 	dst, match, data, size, h := op.dst, op.match, op.data, op.size, op.h
 	e.putOp(op)
+	if c := e.channelFor(dst); c.failed != nil {
+		// The channel already gave up: the Notify this send would wait
+		// for can never arrive.
+		h.fail(c.failed)
+		return
+	}
 	msgID := e.allocMsgID()
 	e.pullSrc[msgID] = &largeSend{msgID: msgID, data: data, size: size, handle: h, dst: dst}
 	hd := wire.Header{

@@ -43,7 +43,11 @@ type pullState struct {
 	seen      []bool
 	perBlock  []int
 	timers    map[int]*sim.Event
-	done      bool
+	// tries counts consecutive retries per block (reset whenever a
+	// fragment of the block arrives); it drives the backed-off retry
+	// delay and the MaxResends give-up.
+	tries []int
+	done  bool
 }
 
 func (ps *pullState) blockSize(b int) int {
@@ -83,6 +87,7 @@ func (e *Endpoint) startPull(src Addr, msgID uint32, total int, match uint64, rh
 		seen:     make([]bool, frags),
 		perBlock: make([]int, blocks),
 		timers:   make(map[int]*sim.Event),
+		tries:    make([]int, blocks),
 	}
 	e.pulls[pullKey{src: src, msgID: msgID}] = ps
 
@@ -113,14 +118,41 @@ func (e *Endpoint) issuePullRequest(ps *pullState, block int) {
 	if t, ok := ps.timers[block]; ok {
 		t.Cancel()
 	}
-	ps.timers[block] = e.stack.eng.After(p.Proto.ResendTimeout, func() {
+	d := p.Proto.ResendTimeout
+	if ps.tries[block] > 0 {
+		d = backoffDelay(&p.Proto, e.rng, ps.tries[block])
+		e.stack.Stats.Backoffs++
+	}
+	ps.timers[block] = e.stack.eng.After(d, func() {
 		delete(ps.timers, block)
 		if ps.done || ps.perBlock[block] == ps.blockSize(block) {
 			return
 		}
+		if mr := p.Proto.MaxResends; mr > 0 && ps.tries[block] >= mr {
+			e.giveUpPull(ps)
+			return
+		}
+		ps.tries[block]++
 		e.stack.Stats.PullBlockRetries++
 		e.issuePullRequest(ps, block)
 	})
+}
+
+// giveUpPull abandons a pull whose block retries exhausted the budget: all
+// retry timers are cancelled, the transfer is dropped, and the posted
+// receive completes with ErrGiveUp.
+func (e *Endpoint) giveUpPull(ps *pullState) {
+	if ps.done {
+		return
+	}
+	ps.done = true
+	for _, t := range ps.timers {
+		t.Cancel()
+	}
+	ps.timers = nil
+	delete(e.pulls, pullKey{src: ps.src, msgID: ps.msgID})
+	e.stack.Stats.GiveUps++
+	ps.rh.fail(ErrGiveUp)
 }
 
 // handlePullRequest runs on the data holder: emit one block of replies.
@@ -191,6 +223,7 @@ func (e *Endpoint) handlePullReply(ps *pullState, f *wire.Frame, core *host.Core
 	p := e.stack.p
 	b := frag / p.Proto.PullBlockFrags
 	ps.perBlock[b]++
+	ps.tries[b] = 0 // block progress: the path works, backoff resets
 
 	// Deposit the fragment into the user buffer (kernel copy, cost already
 	// charged by the rx dispatch).

@@ -1,0 +1,160 @@
+package omx
+
+import (
+	"errors"
+	"testing"
+
+	"openmxsim/internal/fabric"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/wire"
+)
+
+// TestLargeSendGiveUpWithinBudget: with every frame lost, a rendezvous
+// send must not retry forever — the backed-off retry train exhausts
+// MaxResends, the handle fails with ErrGiveUp, and the engine drains
+// within the budget's worth of virtual time.
+func TestLargeSendGiveUpWithinBudget(t *testing.T) {
+	r := defaultRig(t)
+	r.sw.SetFault(&fabric.Fault{DropProb: 1})
+	size := 64 << 10
+	var h *SendHandle
+	r.eng.After(0, func() {
+		r.b.Irecv(1, ^uint64(0), nil, size, nil)
+		h = r.a.Isend(r.b.Addr(), 1, nil, size, nil)
+	})
+	r.eng.Run()
+	if h == nil || !errors.Is(h.Err, ErrGiveUp) {
+		t.Fatalf("handle error = %v, want ErrGiveUp", handleErr(h))
+	}
+	p := &r.p.Proto
+	if got := r.stackA.Stats.GiveUps; got != 1 {
+		t.Errorf("GiveUps = %d, want 1", got)
+	}
+	// The first attempt waits the base timeout; every later one draws a
+	// backed-off delay. MaxResends retries -> MaxResends backoffs.
+	if got, want := r.stackA.Stats.Backoffs, uint64(p.MaxResends); got != want {
+		t.Errorf("Backoffs = %d, want %d (one per retry past the first)", got, want)
+	}
+	// Budget bound: base + doublings capped at ResendBackoffMax, plus
+	// <= d/8 jitter each. Generous factor-2 headroom on top.
+	var budget sim.Time
+	d := p.ResendTimeout
+	for i := 0; i <= p.MaxResends; i++ {
+		budget += d + d/8
+		if d < p.ResendBackoffMax {
+			d *= 2
+			if d > p.ResendBackoffMax {
+				d = p.ResendBackoffMax
+			}
+		}
+	}
+	if r.eng.Now() > 2*budget {
+		t.Errorf("gave up at t=%v, want within 2x budget %v", r.eng.Now(), 2*budget)
+	}
+}
+
+func handleErr(h *SendHandle) error {
+	if h == nil {
+		return errors.New("nil handle")
+	}
+	return h.Err
+}
+
+// TestSmallSendGiveUpCountsOnly pins the documented message-class
+// semantics: a small send completes at buffered handoff, so a dead peer
+// surfaces only in the robustness counters, never on the handle.
+func TestSmallSendGiveUpCountsOnly(t *testing.T) {
+	r := defaultRig(t)
+	r.sw.SetFault(&fabric.Fault{DropProb: 1})
+	sent := false
+	var h *SendHandle
+	r.eng.After(0, func() {
+		h = r.a.Isend(r.b.Addr(), 1, nil, 64, func() { sent = true })
+	})
+	r.eng.Run()
+	if !sent || h.Err != nil {
+		t.Fatalf("small send should complete at handoff (sent=%v err=%v)", sent, h.Err)
+	}
+	if r.stackA.Stats.GiveUps == 0 {
+		t.Error("channel give-up not counted")
+	}
+	if r.stackA.Stats.Backoffs == 0 {
+		t.Error("retry train ran without arming a single backoff")
+	}
+}
+
+// TestBackoffResetsOnProgress: a lossy-but-alive path must keep the
+// retry delay near the base timeout — consecutive-failure state resets
+// whenever an ack or fragment gets through, so moderate loss never
+// walks a transfer toward the give-up cliff.
+func TestBackoffResetsOnProgress(t *testing.T) {
+	r := defaultRig(t)
+	r.sw.SetFault(&fabric.Fault{DropProb: 0.2})
+	size := 128 << 10
+	var got *RecvHandle
+	done := false
+	r.eng.After(0, func() {
+		r.b.Irecv(5, ^uint64(0), nil, size, func(rh *RecvHandle) { got = rh })
+		r.a.Isend(r.b.Addr(), 5, nil, size, func() { done = true })
+	})
+	r.eng.Run()
+	if got == nil || !done {
+		t.Fatalf("transfer under 20%% loss did not complete (recv=%v send=%v)", got != nil, done)
+	}
+	if r.stackA.Stats.GiveUps+r.stackB.Stats.GiveUps != 0 {
+		t.Error("transfer gave up despite making progress")
+	}
+}
+
+// TestCloseCancelsPullRetryTimers is the regression test for the
+// endpoint-close fix: closing the puller mid-transfer (with every pull
+// reply dropped, so all block retry timers are armed) must cancel those
+// timers — the retry counters freeze at close, no request is issued
+// against the closed endpoint, and the engine drains.
+func TestCloseCancelsPullRetryTimers(t *testing.T) {
+	r := defaultRig(t)
+	// Lose only the pull replies: rendezvous and pull requests flow, so
+	// the receiver's per-block retry timers are armed and re-arming.
+	r.sw.SetFault(&fabric.Fault{
+		DropProb: 1,
+		Filter:   func(f *wire.Frame) bool { return f.Header.Type == wire.TypePullReply },
+	})
+	size := 256 << 10
+	var got *RecvHandle
+	r.eng.After(0, func() {
+		r.b.Irecv(7, ^uint64(0), nil, size, func(rh *RecvHandle) { got = rh })
+		r.a.Isend(r.b.Addr(), 7, nil, size, nil)
+	})
+
+	var retriesAtClose, requestsAtClose uint64
+	r.eng.After(60*sim.Millisecond, func() {
+		if r.stackB.Stats.PullBlockRetries == 0 {
+			t.Error("setup failed: no pull retries before close")
+		}
+		r.b.Close()
+		r.b.Close() // idempotent
+		retriesAtClose = r.stackB.Stats.PullBlockRetries
+		requestsAtClose = r.stackB.Stats.PullRequestsSent
+	})
+	r.eng.Run()
+
+	if got == nil || !errors.Is(got.Err, ErrClosed) {
+		t.Fatalf("pending receive should fail with ErrClosed, got %v", recvErr(got))
+	}
+	if n := r.stackB.Stats.PullBlockRetries; n != retriesAtClose {
+		t.Errorf("pull retries kept firing after Close: %d -> %d", retriesAtClose, n)
+	}
+	if n := r.stackB.Stats.PullRequestsSent; n != requestsAtClose {
+		t.Errorf("pull requests issued against a closed endpoint: %d -> %d", requestsAtClose, n)
+	}
+	if r.stackB.Stats.GiveUps != 0 {
+		t.Errorf("close converted into %d give-ups", r.stackB.Stats.GiveUps)
+	}
+}
+
+func recvErr(rh *RecvHandle) error {
+	if rh == nil {
+		return errors.New("nil handle")
+	}
+	return rh.Err
+}

@@ -69,6 +69,10 @@ type Stats struct {
 	PullRequestsSent, PullRepliesSent uint64
 	PullBlockRetries                  uint64
 	NacksSent                         uint64
+	// Robustness counters: Backoffs counts retry timers armed past the
+	// base ResendTimeout (consecutive losses), GiveUps counts operations
+	// abandoned after MaxResends attempts (channel, connect, or pull).
+	Backoffs, GiveUps uint64
 }
 
 // Stack is the per-node Open-MX driver instance bound to one NIC.

@@ -177,8 +177,23 @@ type Proto struct {
 	// AckDelay flushes a pending ack after this time even if the interval
 	// was not reached.
 	AckDelay sim.Time
-	// ResendTimeout triggers retransmission of unacked sends.
+	// ResendTimeout triggers retransmission of unacked sends. It is the
+	// base of the exponential backoff: the k-th consecutive expiry of the
+	// same timer waits ResendTimeout<<k (plus deterministic jitter),
+	// capped at ResendBackoffMax.
 	ResendTimeout sim.Time
+	// ResendBackoffMax caps the backed-off retry interval. Zero or
+	// negative disables the cap (pure exponential growth up to
+	// MaxResends attempts).
+	ResendBackoffMax sim.Time
+	// MaxResends bounds consecutive unacknowledged retries of each
+	// reliability timer — the channel resend timer, the per-block pull
+	// retry timer, and the connect retry. Once exhausted the operation
+	// gives up: the channel fails, outstanding handles complete with
+	// ErrGiveUp, and Stats.GiveUps is incremented, instead of
+	// retransmitting forever into a dead link. Zero or negative restores
+	// the historic retry-forever behaviour.
+	MaxResends int
 	// SendWindow is the per-peer limit on outstanding unacked packets.
 	SendWindow int
 	// MediumInflight caps concurrent medium messages per channel (the
@@ -330,6 +345,8 @@ func Default() *Params {
 			AckInterval:      4,
 			AckDelay:         50 * sim.Microsecond,
 			ResendTimeout:    10 * sim.Millisecond,
+			ResendBackoffMax: 100 * sim.Millisecond,
+			MaxResends:       8,
 			SendWindow:       128,
 			MediumInflight:   2,
 			EventRingEntries: 1024,

@@ -48,8 +48,15 @@ func (b Background) normalized() Background {
 // The background chains stop re-arming once the ping-pong measurement
 // completes, so the engine drains and the MPI world terminates normally.
 func RunPingPongLoaded(cfg cluster.Config, sizes []int, iters int, bg Background) (map[int]sim.Time, uint64, int, error) {
+	res, intr, msgs, _, err := RunPingPongLoadedStats(cfg, sizes, iters, bg)
+	return res, intr, msgs, err
+}
+
+// RunPingPongLoadedStats is RunPingPongLoaded plus the cluster's summed
+// protocol robustness counters.
+func RunPingPongLoadedStats(cfg cluster.Config, sizes []int, iters int, bg Background) (map[int]sim.Time, uint64, int, ProtoCounters, error) {
 	if bg.Streams <= 0 {
-		return RunPingPong(cfg, sizes, iters)
+		return RunPingPongStats(cfg, sizes, iters)
 	}
 	bg = bg.normalized()
 	if min := 2 + bg.Streams; cfg.Nodes < min {
@@ -125,7 +132,7 @@ func RunPingPongLoaded(cfg cluster.Config, sizes []int, iters int, bg Background
 	// in-flight bulk transfers drain and the engine can empty.
 	res, msgs, err := runPingPong(w, sizes, iters, func() { stop = true })
 	intr := cl.NICs[0].Stats.Interrupts + cl.NICs[1].Stats.Interrupts
-	return res, intr, msgs, err
+	return res, intr, msgs, protoCounters(cl), err
 }
 
 // IncastSpec describes an N-to-1 fan-in measurement: Senders nodes blast
@@ -167,6 +174,8 @@ type IncastResult struct {
 	MaxQueueFrames int
 	// QueueWaitNS is the mean per-frame egress queueing delay in ns.
 	QueueWaitNS float64
+	// Proto sums the protocol robustness counters over all nodes.
+	Proto ProtoCounters
 }
 
 // RunIncast builds a cluster from the spec and runs the fan-in measurement.
@@ -233,5 +242,6 @@ func RunIncast(spec IncastSpec) IncastResult {
 		PortDrops:      port.Drops,
 		MaxQueueFrames: port.MaxQueueFrames,
 		QueueWaitNS:    wait,
+		Proto:          protoCounters(cl),
 	}
 }

@@ -9,11 +9,39 @@ import (
 	"openmxsim/internal/sim"
 )
 
+// ProtoCounters sums the reliability layer's robustness counters over a
+// cluster's nodes: how hard the protocol worked to complete the
+// measurement.
+type ProtoCounters struct {
+	Retransmits uint64
+	Backoffs    uint64
+	GiveUps     uint64
+	PullRetries uint64
+}
+
+func protoCounters(cl *cluster.Cluster) ProtoCounters {
+	var pc ProtoCounters
+	for _, s := range cl.Stacks {
+		pc.Retransmits += s.Stats.Retransmits
+		pc.Backoffs += s.Stats.Backoffs
+		pc.GiveUps += s.Stats.GiveUps
+		pc.PullRetries += s.Stats.PullBlockRetries
+	}
+	return pc
+}
+
 // RunPingPong is the canonical ping-pong harness (the experiment runners
 // in internal/exp delegate to it): mean one-way transfer time per message
 // size between two ranks on different nodes, plus the interrupt total
 // across both NICs and the number of messages it covers.
 func RunPingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, uint64, int, error) {
+	res, intr, msgs, _, err := RunPingPongStats(cfg, sizes, iters)
+	return res, intr, msgs, err
+}
+
+// RunPingPongStats is RunPingPong plus the cluster's summed protocol
+// robustness counters (the resilience experiments report them).
+func RunPingPongStats(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, uint64, int, ProtoCounters, error) {
 	// The two ranks share the result map and panic slot in runPingPong, so
 	// the harness stays on the single-engine reference at any requested
 	// parallelism (a 2-node ping-pong has nothing to shard anyway).
@@ -21,7 +49,7 @@ func RunPingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, 
 	cl := cluster.New(cfg)
 	w := mpi.NewWorld(cl, cl.OpenEndpoints(1))
 	res, msgs, err := runPingPong(w, sizes, iters, nil)
-	return res, cl.Interrupts(), msgs, err
+	return res, cl.Interrupts(), msgs, protoCounters(cl), err
 }
 
 // runPingPong drives the two-rank measurement body on a prepared world:

@@ -25,6 +25,9 @@ type Result struct {
 	// background streams); BgStreams the background-load axis value.
 	Nodes     int `json:"nodes"`
 	BgStreams int `json:"bg_streams"`
+	// DropProb and Burst echo the loss-scenario axes (0 = clean point).
+	DropProb float64 `json:"drop_prob"`
+	Burst    float64 `json:"burst"`
 
 	// LatencyNS is the mean one-way ping-pong transfer time in virtual ns.
 	LatencyNS int64 `json:"latency_ns"`
@@ -36,6 +39,13 @@ type Result struct {
 	// on; the keys are always present so every point shares one schema.
 	RateMsgPerSec  float64 `json:"rate_msg_per_sec"`
 	RateIntrPerSec float64 `json:"rate_intr_per_sec"`
+	// Retransmits, Backoffs and GiveUps sum the protocol-robustness
+	// counters over every node of the latency measurement's cluster —
+	// how hard the reliability layer worked at this point.
+	Retransmits uint64 `json:"retransmits"`
+	Backoffs    uint64 `json:"backoffs"`
+	GiveUps     uint64 `json:"give_ups"`
+	PullRetries uint64 `json:"pull_retries"`
 	// Err is set when the point failed instead of measuring.
 	Err string `json:"error,omitempty"`
 }
@@ -64,8 +74,10 @@ func (rs Results) WriteJSON(w io.Writer) error {
 // csvHeader names the CSV columns, in Result field order.
 var csvHeader = []string{
 	"index", "strategy", "delay_us", "size_bytes", "irq", "queues", "seed",
-	"sleep_disabled", "nodes", "bg_streams", "latency_ns", "interrupts",
-	"intr_per_msg", "rate_msg_per_sec", "rate_intr_per_sec", "error",
+	"sleep_disabled", "nodes", "bg_streams", "drop_prob", "burst",
+	"latency_ns", "interrupts", "intr_per_msg", "rate_msg_per_sec",
+	"rate_intr_per_sec", "retransmits", "backoffs", "give_ups",
+	"pull_retries", "error",
 }
 
 // WriteCSV writes the results as comma-separated values with a header row.
@@ -81,9 +93,14 @@ func (rs Results) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.SizeBytes), r.IRQ, strconv.Itoa(r.Queues),
 			strconv.FormatUint(r.Seed, 10), strconv.FormatBool(r.SleepDisabled),
 			strconv.Itoa(r.Nodes), strconv.Itoa(r.BgStreams),
+			f(r.DropProb), f(r.Burst),
 			strconv.FormatInt(r.LatencyNS, 10),
 			strconv.FormatUint(r.Interrupts, 10), f(r.IntrPerMsg),
 			f(r.RateMsgPerSec), f(r.RateIntrPerSec),
+			strconv.FormatUint(r.Retransmits, 10),
+			strconv.FormatUint(r.Backoffs, 10),
+			strconv.FormatUint(r.GiveUps, 10),
+			strconv.FormatUint(r.PullRetries, 10),
 			r.Err,
 		}
 		if err := cw.Write(cells); err != nil {

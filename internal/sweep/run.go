@@ -30,6 +30,12 @@ func Run(g Grid, workers int) (Results, error) {
 		if p.Nodes < 2 {
 			return nil, fmt.Errorf("sweep: point %d: node count %d (the ping-pong needs two nodes)", p.Index, p.Nodes)
 		}
+		if p.DropProb < 0 || p.DropProb >= 1 {
+			return nil, fmt.Errorf("sweep: point %d: drop probability %g outside [0,1)", p.Index, p.DropProb)
+		}
+		if p.Burst < 0 {
+			return nil, fmt.Errorf("sweep: point %d: negative burst length %g", p.Index, p.Burst)
+		}
 		if err := p.Config().Validate(); err != nil {
 			return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 		}
@@ -126,6 +132,8 @@ func runPoint(g Grid, p Point, scratch *pointScratch) (res Result) {
 		SleepDisabled: p.SleepDisabled,
 		Nodes:         cfg.Nodes, // effective count, after the bg raise
 		BgStreams:     p.BgStreams,
+		DropProb:      p.DropProb,
+		Burst:         p.Burst,
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -134,7 +142,11 @@ func runPoint(g Grid, p Point, scratch *pointScratch) (res Result) {
 	}()
 
 	scratch.sizes[0] = p.Size
-	lat, intr, msgs, err := RunPingPongLoaded(cfg, scratch.sizes[:], g.Iters, Background{Streams: p.BgStreams})
+	lat, intr, msgs, pc, err := RunPingPongLoadedStats(cfg, scratch.sizes[:], g.Iters, Background{Streams: p.BgStreams})
+	res.Retransmits = pc.Retransmits
+	res.Backoffs = pc.Backoffs
+	res.GiveUps = pc.GiveUps
+	res.PullRetries = pc.PullRetries
 	if err != nil {
 		res.Err = err.Error()
 		return res

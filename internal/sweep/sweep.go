@@ -13,6 +13,7 @@ package sweep
 import (
 	"runtime"
 
+	"openmxsim/internal/chaos"
 	"openmxsim/internal/cluster"
 	"openmxsim/internal/host"
 	"openmxsim/internal/nic"
@@ -48,6 +49,16 @@ type Grid struct {
 	// (one per extra node) congesting the ping-pong receiver's port. A
 	// point's node count is raised to 2+streams when too small.
 	BgStreams []int
+	// DropProb is the loss-rate axis: a point with DropProb > 0 runs
+	// under a Gilbert–Elliott loss scenario (chaos.Bursty) with this
+	// stationary drop probability, seeded from the point's seed. 0 (the
+	// default) installs no scenario at all, keeping clean points
+	// bit-identical to pre-resilience sweeps.
+	DropProb []float64
+	// Burst is the mean loss-burst-length axis paired with DropProb:
+	// values > 1 cluster the losses into bursts of that mean length;
+	// <= 1 is uniform (Bernoulli) loss. Ignored at DropProb 0.
+	Burst []float64
 
 	// Iters is the ping-pong iteration count per point (default 30).
 	Iters int
@@ -89,6 +100,8 @@ type Point struct {
 	SleepDisabled bool
 	Nodes         int
 	BgStreams     int
+	DropProb      float64
+	Burst         float64
 }
 
 // Config builds the cluster configuration for the point: the paper
@@ -106,6 +119,12 @@ func (p Point) Config() cluster.Config {
 	}
 	if min := 2 + p.BgStreams; cfg.Nodes < min {
 		cfg.Nodes = min // background senders need a node each
+	}
+	if p.DropProb > 0 {
+		cfg.Scenario = &chaos.Scenario{
+			Loss: chaos.Bursty(p.DropProb, p.Burst),
+			Seed: p.Seed,
+		}
 	}
 	return cfg
 }
@@ -141,6 +160,12 @@ func (g Grid) normalized() Grid {
 	if len(g.BgStreams) == 0 {
 		g.BgStreams = []int{0}
 	}
+	if len(g.DropProb) == 0 {
+		g.DropProb = []float64{0}
+	}
+	if len(g.Burst) == 0 {
+		g.Burst = []float64{0}
+	}
 	if g.Iters <= 0 {
 		g.Iters = 30
 	}
@@ -168,12 +193,12 @@ func (g Grid) Size() int {
 	g = g.normalized()
 	return len(g.Strategies) * len(g.Delays) * len(g.Sizes) *
 		len(g.IRQ) * len(g.Queues) * len(g.Seeds) * len(g.SleepDisabled) *
-		len(g.Nodes) * len(g.BgStreams)
+		len(g.Nodes) * len(g.BgStreams) * len(g.DropProb) * len(g.Burst)
 }
 
 // Points expands the cartesian product in deterministic order: seed
 // outermost, then strategy, delay, size, IRQ policy, queue count, sleep,
-// node count, background streams.
+// node count, background streams, drop probability, burst length.
 func (g Grid) Points() []Point {
 	g = g.normalized()
 	pts := make([]Point, 0, g.Size())
@@ -186,18 +211,24 @@ func (g Grid) Points() []Point {
 							for _, sl := range g.SleepDisabled {
 								for _, nodes := range g.Nodes {
 									for _, bg := range g.BgStreams {
-										pts = append(pts, Point{
-											Index:         len(pts),
-											Strategy:      st,
-											Delay:         d,
-											Size:          size,
-											IRQ:           irq,
-											Queues:        q,
-											Seed:          seed,
-											SleepDisabled: sl,
-											Nodes:         nodes,
-											BgStreams:     bg,
-										})
+										for _, dp := range g.DropProb {
+											for _, bu := range g.Burst {
+												pts = append(pts, Point{
+													Index:         len(pts),
+													Strategy:      st,
+													Delay:         d,
+													Size:          size,
+													IRQ:           irq,
+													Queues:        q,
+													Seed:          seed,
+													SleepDisabled: sl,
+													Nodes:         nodes,
+													BgStreams:     bg,
+													DropProb:      dp,
+													Burst:         bu,
+												})
+											}
+										}
 									}
 								}
 							}

@@ -25,6 +25,13 @@ type Spec struct {
 	Nodes int `json:"nodes"`
 	// BgStreams adds background bulk senders congesting the receiver.
 	BgStreams int `json:"bg_streams"`
+	// DropProb, when > 0, tunes under a bursty-loss scenario of this
+	// stationary rate (sweep.Grid.DropProb semantics): the knee the
+	// search converges to is then the lossy-fabric knee, which can sit
+	// at a very different delay than the clean one. Burst is the mean
+	// loss-episode length (<= 1 = uniform loss).
+	DropProb float64 `json:"drop_prob"`
+	Burst    float64 `json:"burst"`
 	// Iters is the ping-pong iteration count per evaluation (default 30).
 	Iters int `json:"iters"`
 	// Seed drives every evaluation (default 1); equal Specs converge to
@@ -79,6 +86,13 @@ func (s Spec) normalized() Spec {
 	}
 	if s.RateMeasure <= 0 {
 		s.RateMeasure = 50 * sim.Millisecond
+	}
+	// Burst only means anything under loss; canonicalize so a clean Spec
+	// has one JSON form regardless of how the caller spelled "no loss".
+	if s.DropProb <= 0 {
+		s.Burst = 0
+	} else if s.Burst <= 1 {
+		s.Burst = 1
 	}
 	if len(s.Strategies) == 0 {
 		s.Strategies = []nic.Strategy{
@@ -136,6 +150,12 @@ func (s Spec) validate() error {
 	}
 	if s.LatencyWeight < 0 || s.LatencyWeight > 1 {
 		return fmt.Errorf("tune: latency weight %g outside [0,1]", s.LatencyWeight)
+	}
+	if s.DropProb < 0 || s.DropProb >= 1 {
+		return fmt.Errorf("tune: drop probability %g outside [0,1)", s.DropProb)
+	}
+	if s.Burst < 0 {
+		return fmt.Errorf("tune: negative burst length %g", s.Burst)
 	}
 	return nil
 }
@@ -362,6 +382,10 @@ func (s *searcher) evalBatch(st nic.Strategy, indices []int) error {
 	}
 	if s.spec.BgStreams > 0 {
 		g.BgStreams = []int{s.spec.BgStreams}
+	}
+	if s.spec.DropProb > 0 {
+		g.DropProb = []float64{s.spec.DropProb}
+		g.Burst = []float64{s.spec.Burst}
 	}
 	rs, err := sweep.Run(g, s.spec.Workers)
 	if err != nil {

@@ -223,6 +223,12 @@ func NodeMAC(i int) MAC {
 	return MAC{0x02, 0x4d, 0x58, byte(i >> 16), byte(i >> 8), byte(i)}
 }
 
+// NodeIndex recovers the node index NodeMAC encoded in the last three
+// bytes (fault-scenario hooks key per-node state by it).
+func (m MAC) NodeIndex() int {
+	return int(m[3])<<16 | int(m[4])<<8 | int(m[5])
+}
+
 // Frame is one Ethernet frame in flight. Payload may be nil for size-only
 // simulation (large benchmark runs), in which case PayloadLen carries the
 // logical size; when Payload is non-nil the two agree.
