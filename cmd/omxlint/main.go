@@ -1,0 +1,104 @@
+// Command omxlint runs the repository's determinism-and-hot-path analyzer
+// suite (internal/lint) over Go packages, optionally alongside a selected
+// set of go vet passes. CI runs it on every PR; it exits non-zero on any
+// unaudited finding.
+//
+// Usage:
+//
+//	omxlint [-vet] [-v] [packages]     # default ./... from the module root
+//	omxlint -dir path/to/dir           # lint a bare directory (fixtures)
+//	omxlint -list                      # describe the analyzers
+//
+// See the README "Determinism invariants" section for the rules and the
+// //omxlint:allow annotation vocabulary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"openmxsim/internal/lint"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "describe the analyzers and exit")
+		dir  = flag.String("dir", "", "lint a bare directory of Go files instead of package patterns")
+		vet  = flag.Bool("vet", false, "also run the selected go vet passes (atomic, copylocks, loopclosure, unusedresult)")
+		verb = flag.Bool("v", false, "print the per-run summary even when clean")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var (
+		pkgs []*lint.Package
+		err  error
+	)
+	patterns := flag.Args()
+	if *dir != "" {
+		if len(patterns) > 0 {
+			fatalf("omxlint: -dir and package patterns are mutually exclusive")
+		}
+		var pkg *lint.Package
+		pkg, err = lint.LoadDir(*dir)
+		if pkg != nil {
+			pkgs = []*lint.Package{pkg}
+		}
+	} else {
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		var root string
+		root, err = lint.ModuleRoot()
+		if err == nil {
+			pkgs, err = lint.Load(root, patterns...)
+		}
+	}
+	if err != nil {
+		fatalf("omxlint: %v", err)
+	}
+
+	findings, sum := lint.Run(pkgs, lint.Analyzers())
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if *verb || len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "omxlint: %d packages, %d findings, %d hotpath functions, %d allow directives (%d suppressions)\n",
+			sum.Packages, sum.Findings, sum.Hotpaths, sum.Allows, sum.Suppressed)
+	}
+
+	failed := len(findings) > 0
+	if *vet && *dir == "" {
+		if err := runVet(patterns); err != nil {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runVet executes the vet passes omxlint vouches for next to its own
+// analyzers. (Listing analyzer flags explicitly restricts vet to exactly
+// those passes.)
+func runVet(patterns []string) error {
+	args := []string{"vet", "-atomic", "-copylocks", "-loopclosure", "-unusedresult", "--"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	return cmd.Run()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

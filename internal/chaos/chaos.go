@@ -14,7 +14,7 @@ package chaos
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"openmxsim/internal/fabric"
 	"openmxsim/internal/sim"
@@ -295,6 +295,7 @@ func (e *Engine) Decide(src, dst int, now sim.Time, f *wire.Frame) fabric.Decisi
 // Stats returns the summed per-node counters.
 func (e *Engine) Stats() NodeStats {
 	var t NodeStats
+	//omxlint:allow maprange: integer sums are order-independent
 	for _, ns := range e.nodes {
 		t.FlapDrops += ns.stats.FlapDrops
 		t.GEDrops += ns.stats.GEDrops
@@ -329,6 +330,6 @@ func (sc *Scenario) Edges(node int) []sim.Time {
 			ts = append(ts, lf.UpAt)
 		}
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	slices.Sort(ts)
 	return ts
 }

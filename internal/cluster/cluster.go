@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"slices"
 
 	"openmxsim/internal/chaos"
 	"openmxsim/internal/fabric"
@@ -85,41 +86,51 @@ func Paper() Config {
 // Validate reports whether the configuration can be built; New panics on
 // exactly these conditions. Batch drivers (the sweep executor) call
 // Validate up front so a malformed grid fails before any worker starts.
+// Every rejection names the offending value and the accepted range in one
+// consistent shape ("invalid <field> <value>: want <range>") so a sweep
+// over thousands of points pinpoints the bad axis value immediately.
 func (c Config) Validate() error {
 	if c.Nodes <= 0 {
-		return fmt.Errorf("cluster: need at least one node, have %d", c.Nodes)
+		return fmt.Errorf("cluster: invalid node count %d: want >= 1", c.Nodes)
 	}
 	if c.CoalesceDelay < 0 {
-		return fmt.Errorf("cluster: negative coalescing delay %d", c.CoalesceDelay)
+		return fmt.Errorf("cluster: invalid coalescing delay %dns: want >= 0", c.CoalesceDelay)
 	}
 	if c.MaxFrames < 0 {
-		return fmt.Errorf("cluster: negative rx-frames bound %d", c.MaxFrames)
+		return fmt.Errorf("cluster: invalid rx-frames bound %d: want >= 0", c.MaxFrames)
 	}
 	if c.Queues < 0 {
-		return fmt.Errorf("cluster: negative queue count %d", c.Queues)
+		return fmt.Errorf("cluster: invalid queue count %d: want >= 0 (0 means 1)", c.Queues)
 	}
 	if c.Parallelism < 0 {
-		return fmt.Errorf("cluster: negative parallelism %d", c.Parallelism)
+		return fmt.Errorf("cluster: invalid parallelism %d: want >= 0 (0 means serial)", c.Parallelism)
 	}
 	if !c.Strategy.Known() {
-		return fmt.Errorf("cluster: unknown strategy %d", int(c.Strategy))
+		return fmt.Errorf("cluster: invalid strategy %d: want one of %s", int(c.Strategy), nic.KnownStrategies())
 	}
 	if c.Feedback.TargetIntrPerSec < 0 {
-		return fmt.Errorf("cluster: negative feedback interrupt-rate target %g", c.Feedback.TargetIntrPerSec)
+		return fmt.Errorf("cluster: invalid feedback interrupt-rate target %g/s: want >= 0", c.Feedback.TargetIntrPerSec)
 	}
 	if c.Feedback.MaxLatency < 0 {
-		return fmt.Errorf("cluster: negative feedback latency budget %d", c.Feedback.MaxLatency)
+		return fmt.Errorf("cluster: invalid feedback latency budget %dns: want >= 0", c.Feedback.MaxLatency)
 	}
 	if err := c.Topology.Validate(); err != nil {
 		return err
 	}
+	// Sorted iteration: with several out-of-range overrides the error
+	// reported must not depend on randomized map order.
+	var overridden []int
 	for node := range c.Topology.PortBandwidthBps {
+		overridden = append(overridden, node)
+	}
+	slices.Sort(overridden)
+	for _, node := range overridden {
 		if node >= c.Nodes {
-			return fmt.Errorf("cluster: port bandwidth override for node %d, have %d nodes", node, c.Nodes)
+			return fmt.Errorf("cluster: invalid port bandwidth override node %d: want [0,%d)", node, c.Nodes)
 		}
 	}
 	if c.IRQPolicy < host.IRQRoundRobin || c.IRQPolicy > host.IRQPerQueue {
-		return fmt.Errorf("cluster: unknown IRQ policy %d", int(c.IRQPolicy))
+		return fmt.Errorf("cluster: invalid IRQ policy %d: want [%d,%d]", int(c.IRQPolicy), int(host.IRQRoundRobin), int(host.IRQPerQueue))
 	}
 	if c.Scenario != nil {
 		if err := c.Scenario.Validate(); err != nil {
@@ -131,7 +142,7 @@ func (c Config) Validate() error {
 		p = params.Default()
 	}
 	if c.IRQCore < 0 || c.IRQCore >= p.Host.Cores {
-		return fmt.Errorf("cluster: IRQ core %d out of range [0,%d)", c.IRQCore, p.Host.Cores)
+		return fmt.Errorf("cluster: invalid IRQ core %d: want [0,%d)", c.IRQCore, p.Host.Cores)
 	}
 	return nil
 }
@@ -288,6 +299,7 @@ func New(cfg Config) *Cluster {
 	}
 	// Per-port bandwidth overrides apply after the NICs registered their
 	// ports (map order is irrelevant: ports are independent).
+	//omxlint:allow maprange: ports are independent, each override touches only its own port
 	for node, bps := range cfg.Topology.PortBandwidthBps {
 		sw.SetPortBandwidth(wire.NodeMAC(node), bps)
 	}

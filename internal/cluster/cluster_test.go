@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
 	"openmxsim/internal/fabric"
@@ -182,4 +183,43 @@ func TestOpenEndpointsOnSubset(t *testing.T) {
 		}
 	}()
 	cl.OpenEndpointsOn([]int{9}, 1)
+}
+
+// TestValidateMessages pins the rejection style: every message names the
+// offending value and the valid range ("invalid <field> <value>: want
+// <range>"), so a bad knob in a wide sweep is pinpointed by value rather
+// than hunted by position.
+func TestValidateMessages(t *testing.T) {
+	mut := func(f func(*Config)) Config { c := Paper(); f(&c); return c }
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"nodes", mut(func(c *Config) { c.Nodes = 0 }), "invalid node count 0: want >= 1"},
+		{"delay", mut(func(c *Config) { c.CoalesceDelay = -5 }), "invalid coalescing delay -5ns: want >= 0"},
+		{"frames", mut(func(c *Config) { c.MaxFrames = -2 }), "invalid rx-frames bound -2: want >= 0"},
+		{"queues", mut(func(c *Config) { c.Queues = -1 }), "invalid queue count -1: want >= 0"},
+		{"par", mut(func(c *Config) { c.Parallelism = -3 }), "invalid parallelism -3: want >= 0"},
+		{"strategy", mut(func(c *Config) { c.Strategy = 99 }), "invalid strategy 99: want one of"},
+		{"feedback rate", mut(func(c *Config) { c.Feedback.TargetIntrPerSec = -1 }), "invalid feedback interrupt-rate target -1/s: want >= 0"},
+		{"feedback budget", mut(func(c *Config) { c.Feedback.MaxLatency = -7 }), "invalid feedback latency budget -7ns: want >= 0"},
+		{"irq policy", mut(func(c *Config) { c.IRQPolicy = 99 }), "invalid IRQ policy 99: want ["},
+		{"irq core", mut(func(c *Config) { c.IRQCore = 99 }), "invalid IRQ core 99: want [0,"},
+		{"port override", mut(func(c *Config) {
+			c.Topology.Kind = fabric.TopologyOutputQueued
+			c.Topology.PortBandwidthBps = map[int]int64{99: 1}
+		}), "invalid port bandwidth override node 99: want [0,"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("config accepted: %+v", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
 }

@@ -67,6 +67,7 @@ package fabric
 
 import (
 	"fmt"
+	"slices"
 
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
@@ -151,23 +152,30 @@ type Topology struct {
 // Validate reports whether the topology is buildable.
 func (t Topology) Validate() error {
 	if t.Kind != TopologyDirect && t.Kind != TopologyOutputQueued {
-		return fmt.Errorf("fabric: unknown topology kind %d", int(t.Kind))
+		return fmt.Errorf("fabric: invalid topology kind %d: want TopologyDirect (%d) or TopologyOutputQueued (%d)", int(t.Kind), int(TopologyDirect), int(TopologyOutputQueued))
 	}
 	if t.Kind == TopologyDirect && len(t.PortBandwidthBps) > 0 {
 		return fmt.Errorf("fabric: port bandwidth overrides require the output-queued topology (the direct model is frozen)")
 	}
 	if t.Discipline != DropTail {
-		return fmt.Errorf("fabric: unknown queue discipline %d", int(t.Discipline))
+		return fmt.Errorf("fabric: invalid queue discipline %d: want DropTail (%d)", int(t.Discipline), int(DropTail))
 	}
 	if t.EgressQueueFrames < 0 {
-		return fmt.Errorf("fabric: negative egress queue bound %d", t.EgressQueueFrames)
+		return fmt.Errorf("fabric: invalid egress queue bound %d frames: want >= 0", t.EgressQueueFrames)
 	}
-	for node, bps := range t.PortBandwidthBps {
+	// Iterate the overrides in sorted key order: with several bad entries
+	// the error reported must not depend on randomized map order.
+	var nodes []int
+	for node := range t.PortBandwidthBps {
+		nodes = append(nodes, node)
+	}
+	slices.Sort(nodes)
+	for _, node := range nodes {
 		if node < 0 {
-			return fmt.Errorf("fabric: negative node index %d in port bandwidth overrides", node)
+			return fmt.Errorf("fabric: invalid port bandwidth override node %d: want >= 0", node)
 		}
-		if bps <= 0 {
-			return fmt.Errorf("fabric: non-positive bandwidth %d for node %d", bps, node)
+		if bps := t.PortBandwidthBps[node]; bps <= 0 {
+			return fmt.Errorf("fabric: invalid bandwidth %d B/s for node %d: want > 0", bps, node)
 		}
 	}
 	return nil
@@ -764,6 +772,7 @@ func (s *Switch) deliverNow(d *delivery) {
 // only while no engine is running.
 func (s *Switch) FramesDelivered() uint64 {
 	var n uint64
+	//omxlint:allow maprange: integer sums are order-independent
 	for _, p := range s.ports {
 		n += p.stats.FramesDelivered
 	}
@@ -774,6 +783,7 @@ func (s *Switch) FramesDelivered() uint64 {
 // drop-tail rejections, summed over ports.
 func (s *Switch) FramesDropped() uint64 {
 	var n uint64
+	//omxlint:allow maprange: integer sums are order-independent
 	for _, p := range s.ports {
 		n += p.faultDrops + p.stats.Drops
 	}
@@ -783,6 +793,7 @@ func (s *Switch) FramesDropped() uint64 {
 // BytesDelivered is the total wire-byte count handed to receivers.
 func (s *Switch) BytesDelivered() uint64 {
 	var n uint64
+	//omxlint:allow maprange: integer sums are order-independent
 	for _, p := range s.ports {
 		n += p.stats.BytesDelivered
 	}

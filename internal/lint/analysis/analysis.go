@@ -1,0 +1,51 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic).
+//
+// The build environment vendors no third-party modules and has no module
+// proxy, so the real x/tools framework cannot be imported; this package
+// keeps the same shape so the analyzers in internal/lint read like (and
+// could later be ported to) standard go/analysis analyzers. Only the
+// surface the omxlint suite needs is implemented: no facts, no
+// requires-graph, no suggested fixes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //omxlint:allow <name> directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by omxlint -list.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers a diagnostic to the driver (which applies the
+	// //omxlint:allow suppression layer before surfacing it).
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

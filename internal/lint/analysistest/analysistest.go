@@ -1,0 +1,119 @@
+// Package analysistest runs omxlint analyzers over fixture directories,
+// mirroring golang.org/x/tools/go/analysis/analysistest: each fixture line
+// that should produce a finding carries a trailing `// want "regexp"`
+// comment, and the runner fails the test on any finding without a matching
+// want and on any want without a matching finding.
+//
+// Expectations are matched by file and line. A line may carry several
+// expectations (`// want "a" "b"`); each matches at most one finding.
+// Regexps may be written as interpreted strings or backquoted raw strings
+// and are unanchored — they need only match a substring of the finding's
+// message. Findings go through lint.Run, so the full directive layer is
+// under test too: suppressions apply, and malformed or unused directives
+// surface as findings of the "omxlint" pseudo-analyzer that fixtures can
+// (and must) `want` like any other.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"openmxsim/internal/lint"
+	"openmxsim/internal/lint/analysis"
+)
+
+// want is one expectation parsed from a fixture source line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the bare fixture directory dir (the package's import path is
+// the directory's base name, which is how fixtures opt into the
+// simulation-visible rules), applies the analyzers through lint.Run, and
+// compares the findings against the fixture's want expectations. It
+// returns the run summary so callers can additionally assert on
+// suppression or hotpath counts.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) lint.Summary {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	var wants []*want
+	for _, name := range pkg.FileNames() {
+		ws, err := parseWants(name)
+		if err != nil {
+			t.Fatalf("parsing wants in %s: %v", name, err)
+		}
+		wants = append(wants, ws...)
+	}
+	findings, sum := lint.Run([]*lint.Package{pkg}, analyzers)
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %s", w.file, w.line, w.re)
+		}
+	}
+	return sum
+}
+
+// claim marks the first unmatched expectation on the finding's line whose
+// regexp matches the finding's message, reporting whether one was found.
+func claim(wants []*want, f lint.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the marker and the quoted regexps following it. Raw
+// strings let fixtures write regexp metacharacters without double escaping.
+var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)$")
+
+var wantArgRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func parseWants(file string) ([]*want, error) {
+	src, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			if strings.Contains(line, "// want ") {
+				return nil, fmt.Errorf("line %d: malformed want comment (expect quoted or backquoted regexps): %s", i+1, line)
+			}
+			continue
+		}
+		for _, tok := range wantArgRE.FindAllString(m[1], -1) {
+			pat, err := strconv.Unquote(tok)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: unquoting %s: %v", i+1, tok, err)
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: compiling want regexp %s: %v", i+1, tok, err)
+			}
+			wants = append(wants, &want{file: file, line: i + 1, re: re})
+		}
+	}
+	return wants, nil
+}

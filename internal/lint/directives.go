@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"openmxsim/internal/lint/analysis"
+)
+
+// The annotation vocabulary. Two directives exist:
+//
+//	//omxlint:hotpath
+//	    in a function's doc comment, opts the function into the
+//	    hotpathalloc allocation check.
+//
+//	//omxlint:allow <analyzer>: <justification>
+//	    suppresses <analyzer>'s findings on the directive's own line and
+//	    on the line immediately below it. The justification is mandatory:
+//	    every escape hatch is an audited claim, not a mute button. The
+//	    driver counts suppressions and reports directives that suppress
+//	    nothing, so stale allows cannot linger.
+const directivePrefix = "//omxlint:"
+
+// wantMarker lets analysistest fixtures carry a `// want "..."` expectation
+// inside a deliberately malformed directive comment (a line can only hold
+// one comment). Everything from the marker on is invisible to the parser.
+const wantMarker = " // want "
+
+// allow is one parsed //omxlint:allow directive.
+type allow struct {
+	pos      token.Pos
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// fileDirectives is the annotation state of one file.
+type fileDirectives struct {
+	allows []*allow
+	// hotpath is the set of functions annotated //omxlint:hotpath.
+	hotpath map[*ast.FuncDecl]bool
+	// errs are malformed-directive diagnostics (reported under the
+	// "omxlint" pseudo-analyzer, never suppressible).
+	errs []analysis.Diagnostic
+}
+
+// parseDirectives extracts the omxlint annotations of one file and
+// validates them against the known analyzer names.
+func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) *fileDirectives {
+	d := &fileDirectives{hotpath: map[*ast.FuncDecl]bool{}}
+	hotpathAt := map[int]token.Pos{} // line -> directive position, until claimed
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if i := strings.Index(text, wantMarker); i >= 0 {
+				text = strings.TrimRight(text[:i], " \t")
+			}
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			body := text[len(directivePrefix):]
+			line := fset.Position(c.Pos()).Line
+			switch {
+			case body == "hotpath":
+				hotpathAt[line] = c.Pos()
+			case strings.HasPrefix(body, "hotpath"):
+				d.errorf(c.Pos(), "malformed //omxlint:hotpath directive %q: the directive takes no arguments", text)
+			case body == "allow" || strings.HasPrefix(body, "allow "):
+				rest := strings.TrimSpace(strings.TrimPrefix(body, "allow"))
+				name, reason, ok := strings.Cut(rest, ":")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case name == "":
+					d.errorf(c.Pos(), "malformed directive %q: want //omxlint:allow <analyzer>: <justification>", text)
+				case !known[name]:
+					d.errorf(c.Pos(), "unknown analyzer %q in //omxlint:allow directive", name)
+				case !ok || reason == "":
+					d.errorf(c.Pos(), "missing justification in //omxlint:allow %s directive: want //omxlint:allow %s: <why this is safe>", name, name)
+				default:
+					d.allows = append(d.allows, &allow{
+						pos: c.Pos(), line: line, analyzer: name, reason: reason,
+					})
+				}
+			default:
+				d.errorf(c.Pos(), "unknown omxlint directive %q", text)
+			}
+		}
+	}
+	// A hotpath directive must sit in the doc comment of a function
+	// declaration; anywhere else it silently checks nothing, so it is an
+	// error.
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			line := fset.Position(c.Pos()).Line
+			if _, ok := hotpathAt[line]; ok {
+				d.hotpath[fn] = true
+				delete(hotpathAt, line)
+			}
+		}
+	}
+	for _, pos := range hotpathAt {
+		d.errorf(pos, "//omxlint:hotpath directive is not attached to a function declaration")
+	}
+	return d
+}
+
+func (d *fileDirectives) errorf(pos token.Pos, format string, args ...any) {
+	p := &analysis.Pass{Report: func(diag analysis.Diagnostic) { d.errs = append(d.errs, diag) }}
+	p.Reportf(pos, format, args...)
+}
+
+// allowFor returns the directive suppressing findings of the named
+// analyzer at the given line, if any: a directive applies to its own line
+// (trailing comment) and to the line directly below it (comment on its own
+// line above the construct).
+func (d *fileDirectives) allowFor(name string, line int) *allow {
+	for _, a := range d.allows {
+		if a.analyzer == name && (a.line == line || a.line == line-1) {
+			return a
+		}
+	}
+	return nil
+}

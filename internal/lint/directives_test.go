@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc runs the directive parser over an in-memory file.
+func parseSrc(t *testing.T, src string) *fileDirectives {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", "package p\n\n"+src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return parseDirectives(fset, f, knownNames())
+}
+
+// TestParseDirectiveErrors walks every way to write a directive wrong; each
+// must produce exactly one error naming the problem, and none may produce a
+// silently-accepted allow.
+func TestParseDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string
+	}{
+		{
+			name:    "allow without operand",
+			src:     "//omxlint:allow\nvar x int",
+			wantErr: `malformed directive "//omxlint:allow"`,
+		},
+		{
+			name:    "allow without justification",
+			src:     "//omxlint:allow maprange\nvar x int",
+			wantErr: "missing justification in //omxlint:allow maprange directive",
+		},
+		{
+			name:    "allow with colon but empty justification",
+			src:     "//omxlint:allow maprange:\nvar x int",
+			wantErr: "missing justification in //omxlint:allow maprange directive",
+		},
+		{
+			name:    "allow for unknown analyzer",
+			src:     "//omxlint:allow spellcheck: because\nvar x int",
+			wantErr: `unknown analyzer "spellcheck"`,
+		},
+		{
+			name:    "unknown directive",
+			src:     "//omxlint:frobnicate\nvar x int",
+			wantErr: `unknown omxlint directive "//omxlint:frobnicate"`,
+		},
+		{
+			name:    "hotpath with arguments",
+			src:     "//omxlint:hotpath fast\nfunc F() {}",
+			wantErr: "malformed //omxlint:hotpath directive",
+		},
+		{
+			name:    "hotpath not on a function",
+			src:     "//omxlint:hotpath\nvar x int",
+			wantErr: "not attached to a function declaration",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := parseSrc(t, tc.src)
+			if len(d.errs) != 1 {
+				t.Fatalf("got %d directive errors, want 1: %v", len(d.errs), d.errs)
+			}
+			if msg := d.errs[0].Message; !strings.Contains(msg, tc.wantErr) {
+				t.Errorf("error %q does not contain %q", msg, tc.wantErr)
+			}
+			if len(d.allows) != 0 {
+				t.Errorf("malformed directive still produced %d allows", len(d.allows))
+			}
+		})
+	}
+}
+
+// TestParseDirectiveValid checks the accepted forms parse into the right
+// structure: analyzer and justification split, hotpath attached to its
+// function, and the analysistest want marker stripped before parsing.
+func TestParseDirectiveValid(t *testing.T) {
+	d := parseSrc(t, strings.Join([]string{
+		"//omxlint:allow maprange: sums are order-independent",
+		"var x int",
+		"",
+		"//omxlint:hotpath",
+		"func F() {}",
+	}, "\n"))
+	if len(d.errs) != 0 {
+		t.Fatalf("valid directives produced errors: %v", d.errs)
+	}
+	if len(d.allows) != 1 {
+		t.Fatalf("got %d allows, want 1", len(d.allows))
+	}
+	al := d.allows[0]
+	if al.analyzer != "maprange" || al.reason != "sums are order-independent" {
+		t.Errorf("allow parsed as (%q, %q)", al.analyzer, al.reason)
+	}
+	if len(d.hotpath) != 1 {
+		t.Errorf("got %d hotpath functions, want 1", len(d.hotpath))
+	}
+}
+
+func TestParseDirectiveWantMarkerStripped(t *testing.T) {
+	// The trailing want expectation must be invisible: the justification
+	// ends before the marker.
+	d := parseSrc(t, "//omxlint:allow goroutine: audited pool // want `unused`\nvar x int")
+	if len(d.errs) != 0 {
+		t.Fatalf("want marker leaked into the parser: %v", d.errs)
+	}
+	if len(d.allows) != 1 || d.allows[0].reason != "audited pool" {
+		t.Fatalf("allow parsed as %+v, want reason %q", d.allows, "audited pool")
+	}
+}
+
+// TestAllowFor pins the suppression span: a directive covers its own line
+// and the line directly below — nothing further.
+func TestAllowFor(t *testing.T) {
+	d := parseSrc(t, "//omxlint:allow maprange: covers this line and the next\nvar x int")
+	line := d.allows[0].line
+	if d.allowFor("maprange", line) == nil {
+		t.Error("directive does not cover its own line")
+	}
+	if d.allowFor("maprange", line+1) == nil {
+		t.Error("directive does not cover the next line")
+	}
+	if al := d.allowFor("maprange", line+2); al != nil {
+		t.Errorf("directive leaks to line+2: %+v", al)
+	}
+	if al := d.allowFor("forbiddencalls", line); al != nil {
+		t.Errorf("directive suppresses a different analyzer: %+v", al)
+	}
+}

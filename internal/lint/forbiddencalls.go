@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+
+	"openmxsim/internal/lint/analysis"
+)
+
+// ForbiddenCalls bans ambient-nondeterminism entry points from
+// simulation-visible packages: wall-clock time, the global math/rand
+// streams, environment lookups, and the unstable sort.Slice. All model
+// time must come from the engine clock (sim.Time), all randomness from a
+// seeded per-stream sim.RNG, all configuration through Config structs, and
+// all sorts must be total on the sorted keys.
+var ForbiddenCalls = &analysis.Analyzer{
+	Name: "forbiddencalls",
+	Doc: "bans time.Now/time.Since, math/rand, os.Getenv and friends, and sort.Slice " +
+		"in simulation-visible packages: virtual time, seeded sim.RNG streams, and " +
+		"total-order sorts only",
+	Run: runForbiddenCalls,
+}
+
+// forbiddenSymbol describes one banned package-level symbol. An empty name
+// bans every exported symbol of the package.
+type forbiddenSymbol struct {
+	pkg, name, advice string
+}
+
+var forbiddenSymbols = []forbiddenSymbol{
+	{"time", "Now", "use the engine's virtual clock (Engine.Now / sim.Time)"},
+	{"time", "Since", "use differences of the engine's virtual clock"},
+	{"time", "Until", "use differences of the engine's virtual clock"},
+	{"time", "Sleep", "schedule an event with Engine.After instead"},
+	{"time", "After", "schedule an event with Engine.After instead"},
+	{"time", "AfterFunc", "schedule an event with Engine.After instead"},
+	{"time", "Tick", "schedule repeating events on the engine instead"},
+	{"time", "NewTimer", "schedule an event with Engine.After instead"},
+	{"time", "NewTicker", "schedule repeating events on the engine instead"},
+	{"math/rand", "", "draw from a seeded per-stream sim.RNG"},
+	{"math/rand/v2", "", "draw from a seeded per-stream sim.RNG"},
+	{"os", "Getenv", "behaviour must not depend on the environment; thread options through Config"},
+	{"os", "LookupEnv", "behaviour must not depend on the environment; thread options through Config"},
+	{"os", "Environ", "behaviour must not depend on the environment; thread options through Config"},
+	{"os", "ExpandEnv", "behaviour must not depend on the environment; thread options through Config"},
+	{"sort", "Slice", "sort.Slice is not stable; use slices.Sort / sort.SliceStable with a key that is total over the sorted elements"},
+}
+
+func runForbiddenCalls(pass *analysis.Pass) error {
+	if !simVisible(pass.Pkg.Path()) {
+		return nil
+	}
+	// TypesInfo.Uses is a map; collect idents and sort by position so
+	// reporting order is deterministic (the driver sorts findings too, but
+	// an analyzer should not depend on that).
+	idents := make([]*ast.Ident, 0, len(pass.TypesInfo.Uses))
+	for id := range pass.TypesInfo.Uses {
+		idents = append(idents, id)
+	}
+	sort.Slice(idents, func(i, j int) bool { return idents[i].Pos() < idents[j].Pos() })
+	for _, id := range idents {
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		path := obj.Pkg().Path()
+		for _, f := range forbiddenSymbols {
+			if path != f.pkg || (f.name != "" && obj.Name() != f.name) {
+				continue
+			}
+			pass.Reportf(id.Pos(), "use of %s.%s in simulation-visible package %s: %s",
+				f.pkg, obj.Name(), pass.Pkg.Path(), f.advice)
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"openmxsim/internal/lint/analysis"
+)
+
+// Goroutine confines concurrency to the audited layer. Simulation state is
+// shard-owned under the PR 6/7 conservative-PDES contract: within a
+// barrier window exactly one goroutine (the shard's worker) touches a
+// shard's engines, NICs, stacks, and RNG streams. An ad-hoc goroutine,
+// channel, or lock inside a simulation-visible package either races that
+// state or — worse — serializes nondeterministically and changes report
+// bytes depending on the host scheduler. Only sim (the Group synchronizer)
+// and cluster (the liveness watchdog) may use concurrency primitives;
+// everything else must run inside the event loop.
+var Goroutine = &analysis.Analyzer{
+	Name: "goroutine",
+	Doc: "confines go statements, channel operations, and sync/atomic primitives to the " +
+		"audited concurrency layer (sim.Group, the sweep worker pool, the cluster watchdog)",
+	Run: runGoroutine,
+}
+
+func runGoroutine(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !simVisible(path) || auditedConcurrency[pathBase(path)] {
+		return nil
+	}
+	const fix = "simulation packages are shard-owned and single-threaded; move concurrency " +
+		"into the audited layer (sim.Group, cluster watchdog) or justify with //omxlint:allow goroutine"
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in simulation-visible package %s: %s", path, fix)
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in simulation-visible package %s: %s", path, fix)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in simulation-visible package %s: %s", path, fix)
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement in simulation-visible package %s: %s", path, fix)
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.For, "range over channel in simulation-visible package %s: %s", path, fix)
+					}
+				}
+			case *ast.CallExpr:
+				if isBuiltin(pass.TypesInfo, n.Fun, "make") && len(n.Args) > 0 {
+					if t := pass.TypesInfo.TypeOf(n.Args[0]); t != nil {
+						if _, ok := t.Underlying().(*types.Chan); ok {
+							pass.Reportf(n.Pos(), "channel creation in simulation-visible package %s: %s", path, fix)
+						}
+					}
+				}
+				if isBuiltin(pass.TypesInfo, n.Fun, "close") {
+					pass.Reportf(n.Pos(), "channel close in simulation-visible package %s: %s", path, fix)
+				}
+			}
+			return true
+		})
+	}
+	// Any reference into sync or sync/atomic (types and functions alike —
+	// a sync.Mutex field is as much a concurrency claim as a Lock call).
+	idents := make([]*ast.Ident, 0, len(pass.TypesInfo.Uses))
+	for id := range pass.TypesInfo.Uses {
+		idents = append(idents, id)
+	}
+	sort.Slice(idents, func(i, j int) bool { return idents[i].Pos() < idents[j].Pos() })
+	for _, id := range idents {
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			continue
+		}
+		if p := obj.Pkg().Path(); p == "sync" || p == "sync/atomic" {
+			pass.Reportf(id.Pos(), "use of %s.%s in simulation-visible package %s: %s",
+				p, obj.Name(), path, fix)
+		}
+	}
+	return nil
+}

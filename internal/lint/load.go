@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path (Load) or the package name (LoadDir, which
+	// has no module context). Analyzer scoping looks at the last path
+	// segment, so fixture directories named after a simulation package
+	// (testdata/src/nic, ...) exercise the sim-visible rules.
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FileNames returns the on-disk path of every source file in the package,
+// in parse order.
+func (p *Package) FileNames() []string {
+	names := make([]string, len(p.Files))
+	for i, f := range p.Files {
+		names[i] = p.Fset.Position(f.Pos()).Filename
+	}
+	return names
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// goList runs `go list -export -deps -json` in dir over the given patterns
+// and returns the decoded package stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := []string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly", "--"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a path->export-file map to the importer.ForCompiler
+// lookup contract.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// newInfo returns a types.Info with every map the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+}
+
+// Load type-checks the packages matched by patterns (e.g. "./...") in the
+// module rooted at root. Dependencies are resolved through compiler export
+// data produced by `go list -export`, so loading is fast and needs no
+// network. Test files are not loaded: the determinism invariants guard
+// simulation code, not its tests.
+func Load(root string, patterns ...string) ([]*Package, error) {
+	list, err := goList(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []listPkg
+	for _, p := range list {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		return targets[i].ImportPath < targets[j].ImportPath
+	})
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var out []*Package
+	for _, t := range targets {
+		var files []*ast.File
+		for _, gf := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  t.ImportPath,
+			Dir:   t.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: pkg,
+			Info:  info,
+		})
+	}
+	return out, nil
+}
+
+// LoadDir type-checks a bare directory of Go files outside any module —
+// the analysistest fixtures under testdata, which `go list ./...` cannot
+// see. Imports are limited to the standard library and resolved through
+// export data listed from the surrounding module context. Package.Path is
+// the directory's base name, so a fixture directory named after a
+// simulation package opts into the sim-visible rules.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[path] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		list, err := goList(dir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range list {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	path := filepath.Base(dir)
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", dir, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}
+
+// ModuleRoot returns the directory of the enclosing module, resolved from
+// the current working directory.
+func ModuleRoot() (string, error) {
+	cmd := exec.Command("go", "list", "-m", "-f", "{{.Dir}}")
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: not inside a module: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"openmxsim/internal/lint/analysis"
+)
+
+// MapRange bans `range` over maps in simulation-visible packages: Go
+// randomizes map iteration order per run, so any map-order-dependent
+// scheduling, stats aggregation, RNG draw, or serialized output breaks
+// bit-reproducibility. Two shapes are recognized as order-insensitive and
+// exempt — a loop that only collects keys for later sorting (the
+// sorted-key helper pattern) and a loop that only deletes entries. Every
+// other loop must either iterate a sorted key slice instead or carry an
+// audited //omxlint:allow maprange: <justification> directive.
+var MapRange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "bans map iteration in simulation-visible packages (map order is randomized); " +
+		"collect-and-sort keys, or justify with //omxlint:allow maprange",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) error {
+	if !simVisible(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if benignMapRange(rs, pass.TypesInfo) {
+				return true
+			}
+			pass.Reportf(rs.For, "iteration over map in simulation-visible package %s: "+
+				"map order is randomized; iterate a sorted key slice, or justify with "+
+				"//omxlint:allow maprange: <why order cannot matter>", pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+// benignMapRange reports whether the loop body is one of the recognized
+// order-insensitive shapes: every statement is an append of the key to a
+// slice (key collection for later sorting), a delete from a map, or an
+// if/continue guard around only those (filtered key collection). The guard
+// condition itself cannot reintroduce order sensitivity: it has no side
+// effects on the collection, and which keys pass is a per-key property.
+func benignMapRange(rs *ast.RangeStmt, info *types.Info) bool {
+	key, _ := rs.Key.(*ast.Ident)
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	return benignStmts(rs.Body.List, key, info)
+}
+
+func benignStmts(stmts []ast.Stmt, key *ast.Ident, info *types.Info) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			// s = append(s, key)
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 || s.Tok != token.ASSIGN {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call.Fun, "append") || len(call.Args) != 2 {
+				return false
+			}
+			arg, ok := call.Args[1].(*ast.Ident)
+			if !ok || key == nil || arg.Name != key.Name {
+				return false
+			}
+		case *ast.ExprStmt:
+			// delete(m, ...)
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call.Fun, "delete") {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil || !benignStmts(s.Body.List, key, info) {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isBuiltin reports whether fun resolves to the named predeclared builtin.
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,13 @@
+// Package sim is the deliberately broken CI fixture: the lint job runs
+// omxlint over this directory and MUST fail, proving the job turns red on
+// a real determinism violation instead of rubber-stamping. Do not "fix"
+// this file.
+package sim
+
+import "time"
+
+// Timestamp reads the wall clock from a simulation-visible package — the
+// canonical violation the suite exists to catch.
+func Timestamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,66 @@
+// Package fabric is a maprange fixture: "fabric" is a simulation-visible
+// package name, so map iteration must be order-insensitive or audited.
+package fabric
+
+import "sort"
+
+// Join is the flagged case: concatenation order follows map order.
+func Join(m map[int]string) string {
+	var out string
+	for _, v := range m { // want `iteration over map in simulation-visible package fabric`
+		out += v
+	}
+	return out
+}
+
+// FirstError is the subtler flagged case: which entry's error surfaces
+// depends on map order.
+func FirstError(m map[int]int) int {
+	for k, v := range m { // want `iteration over map`
+		if v < 0 {
+			return k
+		}
+	}
+	return -1
+}
+
+// Keys is the benign sorted-key helper shape: the loop only collects keys.
+func Keys(m map[int]string) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// ShortKeys is the filtered variant: an if/continue guard around the
+// collection stays benign.
+func ShortKeys(m map[int]string) []int {
+	var ks []int
+	for k, v := range m {
+		if len(v) > 3 {
+			continue
+		}
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+// Clear is the benign delete-only sweep.
+func Clear(m map[int]string) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Total carries an audited allow: integer sums commute.
+func Total(counts map[int]uint64) uint64 {
+	var n uint64
+	//omxlint:allow maprange: fixture — integer sums are order-independent
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+// Package host is the fixture for the annotation parser itself: every way
+// to get a directive wrong is an "omxlint" finding, never silently
+// ignored. The directory borrows a simulation-visible name so the file can
+// demonstrate both a used and an unused allow. The want expectations ride
+// inside the malformed comments — everything from the want marker on is
+// invisible to the parser.
+package host
+
+import "time"
+
+//omxlint:allow // want `malformed directive "//omxlint:allow": want //omxlint:allow <analyzer>: <justification>`
+var a int
+
+//omxlint:allow maprange // want `missing justification in //omxlint:allow maprange directive`
+var b int
+
+//omxlint:allow maprange: // want `missing justification in //omxlint:allow maprange directive`
+var c int
+
+//omxlint:allow spellcheck: maps are fine really // want `unknown analyzer "spellcheck" in //omxlint:allow directive`
+var d int
+
+//omxlint:frobnicate // want `unknown omxlint directive "//omxlint:frobnicate"`
+var e int
+
+//omxlint:hotpath the fast one // want `malformed //omxlint:hotpath directive`
+var f int
+
+//omxlint:hotpath // want `//omxlint:hotpath directive is not attached to a function declaration`
+var g int
+
+// Stale carries an allow whose analyzer runs but finds nothing to suppress
+// on either line it covers.
+func Stale() int {
+	//omxlint:allow forbiddencalls: nothing here actually calls time // want `unused //omxlint:allow forbiddencalls directive`
+	return a + b + c + d + e + f + g
+}
+
+// Used is the counterpart: a directive that suppresses a genuine finding
+// draws no unused-allow complaint.
+func Used() int64 {
+	//omxlint:allow forbiddencalls: fixture — a used directive draws no finding
+	return time.Now().UnixNano()
+}

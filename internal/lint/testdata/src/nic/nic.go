@@ -1,0 +1,49 @@
+// Package nic is a forbiddencalls fixture: "nic" is a simulation-visible
+// package name, so the ambient-nondeterminism bans apply in full.
+package nic
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock, which differs on every run.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `use of time\.Now in simulation-visible package nic`
+}
+
+// Jitter draws from the global math/rand stream and then really sleeps.
+func Jitter() time.Duration {
+	d := time.Duration(rand.Intn(10)) // want `use of math/rand\.Intn`
+	time.Sleep(d)                     // want `use of time\.Sleep`
+	return d
+}
+
+// FromEnv lets the environment steer behaviour.
+func FromEnv() string {
+	return os.Getenv("OMX_DELAY") // want `use of os\.Getenv`
+}
+
+// Order uses the unstable sort.
+func Order(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `use of sort\.Slice`
+}
+
+// Fine is the negative case: deterministic time arithmetic, stable sorts,
+// and non-banned os symbols are all untouched.
+func Fine(xs []int, base time.Duration) time.Duration {
+	sort.Ints(xs)
+	if len(os.Args) > 1 {
+		return base * 2
+	}
+	return base
+}
+
+// Audited demonstrates a counted suppression: the directive on the line
+// above the use silences it.
+func Audited() int64 {
+	//omxlint:allow forbiddencalls: fixture — demonstrates an audited, counted suppression
+	return time.Now().UnixNano()
+}

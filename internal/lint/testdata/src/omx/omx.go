@@ -1,0 +1,51 @@
+// Package omx is a goroutine fixture: "omx" is simulation-visible and not
+// part of the audited concurrency layer, so every concurrency construct is
+// a finding.
+package omx
+
+import "sync"
+
+// Guard claims concurrency just by embedding a lock.
+type Guard struct {
+	mu sync.Mutex // want `use of sync\.Mutex`
+}
+
+// Spawn starts an ad-hoc goroutine.
+func Spawn(fn func()) {
+	go fn() // want `go statement in simulation-visible package omx`
+}
+
+// Relay uses channels end to end.
+func Relay(in chan int) int {
+	out := make(chan int, 1) // want `channel creation`
+	v := <-in                // want `channel receive`
+	out <- v                 // want `channel send`
+	close(out)               // want `channel close`
+	return <-out             // want `channel receive`
+}
+
+// Drain ranges over a channel and selects.
+func Drain(in chan int) int {
+	n := 0
+	for v := range in { // want `range over channel`
+		n += v
+	}
+	select { // want `select statement`
+	default:
+	}
+	return n
+}
+
+// Sequential is the negative case: plain single-threaded code.
+func Sequential(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Audited carries an allow on the offending line itself (trailing form).
+func Audited(done *sync.WaitGroup) { // want `use of sync\.WaitGroup`
+	done.Wait() //omxlint:allow goroutine: fixture — demonstrates the trailing-comment allow form
+}

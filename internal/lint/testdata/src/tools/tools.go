@@ -1,0 +1,44 @@
+// Package tools is the control fixture: the name is not simulation-visible,
+// so wall-clock time, ambient randomness, map iteration, and concurrency
+// are all legitimate here and the suite must stay silent.
+package tools
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Elapsed times a real wall-clock operation — fine outside the simulation.
+func Elapsed(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Shuffle uses ambient randomness.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Sum iterates a map in arbitrary order.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Fan runs work concurrently.
+func Fan(work []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package nic
 
 import (
 	"fmt"
+	"strings"
 
 	"openmxsim/internal/host"
 	"openmxsim/internal/params"
@@ -50,6 +51,10 @@ func (s Strategy) String() string {
 
 // Known reports whether s is one of the defined strategies.
 func (s Strategy) Known() bool { return s >= 0 && int(s) < len(strategyNames) }
+
+// KnownStrategies lists every defined strategy name, for error messages
+// ("want one of ...") and CLI usage strings.
+func KnownStrategies() string { return strings.Join(strategyNames[:], ", ") }
 
 // ParseStrategy converts a name into a Strategy.
 func ParseStrategy(name string) (Strategy, error) {
@@ -154,6 +159,7 @@ type disabledCoalescer struct{ q *rxQueue }
 func (c *disabledCoalescer) Name() string          { return "disabled" }
 func (c *disabledCoalescer) inspectsMarkers() bool { return false }
 
+//omxlint:hotpath
 func (c *disabledCoalescer) onDMAComplete(d *RxDesc, pending int) {
 	c.q.nic.requestInterrupt(c.q, causeImmediate)
 }
@@ -189,6 +195,7 @@ func (c *timeoutCoalescer) Name() string {
 }
 func (c *timeoutCoalescer) inspectsMarkers() bool { return false }
 
+//omxlint:hotpath
 func (c *timeoutCoalescer) onDMAComplete(d *RxDesc, pending int) {
 	c.count++
 	if c.maxFrames > 0 && c.count >= c.maxFrames {
@@ -200,6 +207,7 @@ func (c *timeoutCoalescer) onDMAComplete(d *RxDesc, pending int) {
 
 func (c *timeoutCoalescer) onBacklog() { c.arm() }
 
+//omxlint:hotpath
 func (c *timeoutCoalescer) arm() {
 	if c.timer != nil {
 		return
@@ -207,6 +215,7 @@ func (c *timeoutCoalescer) arm() {
 	c.timer = c.q.nic.eng.After(c.delay, c.timerFn)
 }
 
+//omxlint:hotpath
 func (c *timeoutCoalescer) fireTimeout() {
 	c.count = 0
 	if len(c.q.completed) == 0 {
@@ -215,6 +224,7 @@ func (c *timeoutCoalescer) fireTimeout() {
 	c.q.nic.requestInterrupt(c.q, causeTimeout)
 }
 
+//omxlint:hotpath
 func (c *timeoutCoalescer) fire() {
 	if c.timer != nil {
 		c.timer.Cancel()
@@ -231,6 +241,7 @@ type omxCoalescer struct{ timeoutCoalescer }
 func (c *omxCoalescer) Name() string          { return fmt.Sprintf("openmx(%dus)", c.delay/sim.Microsecond) }
 func (c *omxCoalescer) inspectsMarkers() bool { return true }
 
+//omxlint:hotpath
 func (c *omxCoalescer) onDMAComplete(d *RxDesc, pending int) {
 	if d.Marked {
 		c.raiseMarked()
@@ -270,6 +281,7 @@ type streamCoalescer struct {
 
 func (c *streamCoalescer) Name() string { return fmt.Sprintf("stream(%dus)", c.delay/sim.Microsecond) }
 
+//omxlint:hotpath
 func (c *streamCoalescer) onDMAComplete(d *RxDesc, pending int) {
 	if pending == 0 {
 		if d.Marked || c.deferred {
@@ -331,6 +343,7 @@ type adaptiveCoalescer struct {
 func (c *adaptiveCoalescer) Name() string          { return "adaptive" }
 func (c *adaptiveCoalescer) inspectsMarkers() bool { return false }
 
+//omxlint:hotpath
 func (c *adaptiveCoalescer) onDMAComplete(d *RxDesc, pending int) {
 	c.adapt()
 	c.timeoutCoalescer.onDMAComplete(d, pending)
@@ -426,6 +439,7 @@ func (c *feedbackCoalescer) Name() string {
 }
 func (c *feedbackCoalescer) inspectsMarkers() bool { return false }
 
+//omxlint:hotpath
 func (c *feedbackCoalescer) onDMAComplete(d *RxDesc, pending int) {
 	c.observeWindow()
 	c.count++

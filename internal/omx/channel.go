@@ -1,7 +1,7 @@
 package omx
 
 import (
-	"sort"
+	"slices"
 
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
@@ -246,7 +246,7 @@ func (c *channel) giveUp(err error) {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		ls := c.ep.pullSrc[id]
 		delete(c.ep.pullSrc, id)

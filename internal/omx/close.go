@@ -1,6 +1,9 @@
 package omx
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Close tears down the endpoint. Every outstanding timer is cancelled —
 // in particular the per-block pull retry timers, which previously kept
@@ -22,10 +25,11 @@ func (e *Endpoint) Close() {
 	for k := range e.pulls {
 		pkeys = append(pkeys, k)
 	}
-	sort.Slice(pkeys, func(i, j int) bool { return lessPullKey(pkeys[i], pkeys[j]) })
+	sort.SliceStable(pkeys, func(i, j int) bool { return lessPullKey(pkeys[i], pkeys[j]) })
 	for _, k := range pkeys {
 		ps := e.pulls[k]
 		ps.done = true
+		//omxlint:allow maprange: timer cancellation is idempotent and per-timer; order cannot matter
 		for _, t := range ps.timers {
 			t.Cancel()
 		}
@@ -39,7 +43,7 @@ func (e *Endpoint) Close() {
 	for id := range e.pullSrc {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	for _, id := range ids {
 		ls := e.pullSrc[id]
 		delete(e.pullSrc, id)
@@ -51,7 +55,7 @@ func (e *Endpoint) Close() {
 	for a := range e.channels {
 		addrs = append(addrs, a)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return lessAddr(addrs[i], addrs[j]) })
+	sort.SliceStable(addrs, func(i, j int) bool { return lessAddr(addrs[i], addrs[j]) })
 	for _, a := range addrs {
 		c := e.channels[a]
 		c.teardown(ErrClosed)

@@ -146,6 +146,7 @@ func (e *Endpoint) giveUpPull(ps *pullState) {
 		return
 	}
 	ps.done = true
+	//omxlint:allow maprange: timer cancellation is idempotent and per-timer; order cannot matter
 	for _, t := range ps.timers {
 		t.Cancel()
 	}
@@ -248,6 +249,7 @@ func (e *Endpoint) handlePullReply(ps *pullState, f *wire.Frame, core *host.Core
 
 	if ps.received == ps.frags {
 		ps.done = true
+		//omxlint:allow maprange: timer cancellation is idempotent and per-timer; order cannot matter
 		for _, t := range ps.timers {
 			t.Cancel()
 		}

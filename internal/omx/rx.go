@@ -17,6 +17,8 @@ import (
 
 // rxCost returns the IRQ-context processing cost of a packet and, for pull
 // replies, the transfer state the cost was computed against.
+//
+//omxlint:hotpath
 func (e *Endpoint) rxCost(f *wire.Frame, cold bool) (sim.Time, *pullState) {
 	h := &f.Header
 	p := e.stack.p
@@ -69,6 +71,8 @@ func (e *Endpoint) rxCost(f *wire.Frame, cold bool) (sim.Time, *pullState) {
 
 // rxApply performs the protocol state transition for a packet whose receive
 // cost has been charged. ps is the pull state captured by rxCost.
+//
+//omxlint:hotpath
 func (e *Endpoint) rxApply(f *wire.Frame, core *host.Core, ps *pullState) {
 	h := &f.Header
 	src := Addr{MAC: f.Src, EP: h.SrcEP}

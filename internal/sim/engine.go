@@ -138,6 +138,8 @@ func NewEngineWithScheduler(s Scheduler) *Engine {
 }
 
 // push enqueues a stamped event, preferring the concrete wheel path.
+//
+//omxlint:hotpath
 func (e *Engine) push(ev *Event) {
 	if e.wheel != nil {
 		e.wheel.Push(ev)
@@ -148,6 +150,8 @@ func (e *Engine) push(ev *Event) {
 
 // popLE dequeues the next live event at or before t (maxHorizon = no bound),
 // preferring the concrete wheel path.
+//
+//omxlint:hotpath
 func (e *Engine) popLE(t Time) *Event {
 	if e.wheel != nil {
 		return e.wheel.popLE(t)
@@ -167,12 +171,15 @@ func (e *Engine) Pending() int { return e.sched.Len() }
 
 // alloc takes an Event from the free list (or the Go heap when empty) and
 // stamps it.
+//
+//omxlint:hotpath
 func (e *Engine) alloc(at Time) *Event {
 	var ev *Event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
 		e.free = e.free[:n-1]
 	} else {
+		//omxlint:allow hotpathalloc: cold-path free-list refill; steady state recycles (guarded by the ZeroAllocSteadyState tests)
 		ev = &Event{}
 	}
 	ev.at = at
@@ -187,10 +194,13 @@ func (e *Engine) alloc(at Time) *Event {
 // cleared so the free list never pins driver state for the GC; the next
 // link is left stale on purpose — every consumer (list append, alloc)
 // overwrites it before use.
+//
+//omxlint:hotpath
 func (e *Engine) release(ev *Event) {
 	ev.fn = nil
 	ev.afn = nil
 	ev.arg = nil
+	//omxlint:allow hotpathalloc: free-list growth is amortized; steady state is append-into-capacity (guarded by the ZeroAllocSteadyState tests)
 	e.free = append(e.free, ev)
 }
 
@@ -210,6 +220,8 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 // variant of Schedule for hot paths: a long-lived fn (bound once at
 // subsystem construction) plus a pointer-typed arg schedule without any
 // per-call closure or boxing allocation.
+//
+//omxlint:hotpath
 func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
@@ -227,6 +239,8 @@ func (e *Engine) ScheduleArg(at Time, fn func(any), arg any) *Event {
 // pins the event's position in the (at, pri, seq) total order independently
 // of engine count — the scheduling half of the parallel engine's
 // bit-identical guarantee.
+//
+//omxlint:hotpath
 func (e *Engine) ScheduleArgPri(at Time, pri uint64, fn func(any), arg any) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
@@ -248,6 +262,8 @@ func (e *Engine) After(d Time, fn func()) *Event {
 }
 
 // AfterArg runs fn(arg) d nanoseconds from now. Negative d panics.
+//
+//omxlint:hotpath
 func (e *Engine) AfterArg(d Time, fn func(any), arg any) *Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
@@ -259,6 +275,8 @@ func (e *Engine) AfterArg(d Time, fn func(any), arg any) *Event {
 // whether an event ran. The scheduler discards cancelled events internally,
 // so every event Step sees is live; same-instant bursts come off the
 // wheel's current slot without a queue rescan.
+//
+//omxlint:hotpath
 func (e *Engine) Step() bool {
 	ev := e.popLE(maxHorizon)
 	if ev == nil {
@@ -269,6 +287,8 @@ func (e *Engine) Step() bool {
 }
 
 // runEvent advances the clock to a popped event and fires its callback.
+//
+//omxlint:hotpath
 func (e *Engine) runEvent(ev *Event) {
 	e.now = ev.at
 	e.Executed++
@@ -295,6 +315,8 @@ func (e *Engine) Run() {
 
 // RunUntil processes events with timestamps <= t, then sets the clock to t
 // (if it is ahead of the last event).
+//
+//omxlint:hotpath
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped {
@@ -332,6 +354,8 @@ func (e *Engine) PeekTime() (Time, bool) {
 // Group run each shard's clock sits at its own last event, and the maximum
 // over shards equals the serial engine's final clock. It also ignores the
 // Stop flag (see Stop).
+//
+//omxlint:hotpath
 func (e *Engine) runWindow(t Time) {
 	for {
 		ev := e.popLE(t)

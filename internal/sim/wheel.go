@@ -115,6 +115,7 @@ type evList struct {
 	head, tail *Event
 }
 
+//omxlint:hotpath
 func (q *evList) pushBack(ev *Event) {
 	ev.next = nil
 	if q.tail == nil {
@@ -131,6 +132,8 @@ func (q *evList) pushBack(ev *Event) {
 // arrive in seq order). Only cross-shard events (pri > 0) landing among
 // same-instant peers ever take the scan, and a level-0 slot holds a handful
 // of events at most.
+//
+//omxlint:hotpath
 func (q *evList) insertOrdered(ev *Event) {
 	if q.tail == nil || !before(ev, q.tail) {
 		q.pushBack(ev)
@@ -166,11 +169,13 @@ func (w *Wheel) Bind(e *Engine) { w.eng = e }
 
 func (w *Wheel) Len() int { return w.n }
 
+//omxlint:hotpath
 func (w *Wheel) setBit(level, idx int) {
 	w.bits[level][idx>>6] |= 1 << uint(idx&63)
 	w.sum[level] |= 1 << uint(idx>>6)
 }
 
+//omxlint:hotpath
 func (w *Wheel) clearBit(level, idx int) {
 	word := idx >> 6
 	w.bits[level][word] &^= 1 << uint(idx&63)
@@ -180,6 +185,8 @@ func (w *Wheel) clearBit(level, idx int) {
 }
 
 // findBit returns the first set bit >= from at the given level, or -1.
+//
+//omxlint:hotpath
 func (w *Wheel) findBit(level, from int) int {
 	b := w.bits[level]
 	word := from >> 6
@@ -206,6 +213,8 @@ func (w *Wheel) findBit(level, from int) int {
 // levels stay FIFO: their slots are only ever redistributed (cascade),
 // popped when they hold a single event (takeSingle), or min-scanned in full
 // (peekSlotMin), none of which needs a sorted list.
+//
+//omxlint:hotpath
 func (w *Wheel) put(level, idx int, ev *Event) {
 	if level == 0 {
 		w.slots[0][idx].insertOrdered(ev)
@@ -218,6 +227,8 @@ func (w *Wheel) put(level, idx int, ev *Event) {
 // place files an event relative to base (the cursor, or the new epoch start
 // during an overflow drain): the lowest level whose current epoch contains
 // at, or the overflow heap past the level-2 horizon.
+//
+//omxlint:hotpath
 func (w *Wheel) place(base Time, ev *Event) {
 	at := ev.at
 	switch {
@@ -232,6 +243,7 @@ func (w *Wheel) place(base Time, ev *Event) {
 	}
 }
 
+//omxlint:hotpath
 func (w *Wheel) Push(ev *Event) {
 	w.n++
 	w.place(w.cur, ev)
@@ -240,6 +252,8 @@ func (w *Wheel) Push(ev *Event) {
 // cascade redistributes a level-1 or level-2 slot one level down, releasing
 // cancelled events instead of moving them. List order is preserved, which
 // keeps per-timestamp FIFO order intact.
+//
+//omxlint:hotpath
 func (w *Wheel) cascade(level, idx int) {
 	q := &w.slots[level][idx]
 	ev := q.head
@@ -269,6 +283,8 @@ func (w *Wheel) PopLE(t Time) *Event { return w.popLE(t) }
 // advances to t instead (the engine adopts t as now), so the next search
 // resumes there; when nothing live remains at all the cursor stays put —
 // that keeps an idle drain from stranding the cursor ahead of later Pushes.
+//
+//omxlint:hotpath
 func (w *Wheel) popLE(t Time) *Event {
 	lc := w.cur // local cursor; committed only at a pop or proven horizon
 	for {
@@ -403,6 +419,8 @@ func (w *Wheel) popLE(t Time) *Event {
 // has already bounded slotStart by the horizon, but the event itself may
 // still lie beyond it, in which case it stays parked and popLE's horizon
 // commit is applied here.
+//
+//omxlint:hotpath
 func (w *Wheel) takeSingle(level, idx int, t Time) *Event {
 	q := &w.slots[level][idx]
 	ev := q.head

@@ -18,23 +18,26 @@ import (
 func Run(g Grid, workers int) (Results, error) {
 	g = g.normalized()
 	pts := g.Points() // never empty: normalized() fills every axis
+	// Rejections mirror cluster.Config.Validate's shape — "invalid <field>
+	// <value>: want <range>" — so a bad axis value in a wide grid is
+	// pinpointed by value, not hunted by position.
 	for _, p := range pts {
 		if p.Size < 0 {
-			return nil, fmt.Errorf("sweep: point %d: negative message size %d", p.Index, p.Size)
+			return nil, fmt.Errorf("sweep: point %d: invalid message size %d B: want >= 0", p.Index, p.Size)
 		}
 		if p.BgStreams < 0 {
-			return nil, fmt.Errorf("sweep: point %d: negative background stream count %d", p.Index, p.BgStreams)
+			return nil, fmt.Errorf("sweep: point %d: invalid background stream count %d: want >= 0", p.Index, p.BgStreams)
 		}
 		// normalized() fills an empty Nodes axis with the default, so any
 		// sub-2 value here was explicit user input, not "unset".
 		if p.Nodes < 2 {
-			return nil, fmt.Errorf("sweep: point %d: node count %d (the ping-pong needs two nodes)", p.Index, p.Nodes)
+			return nil, fmt.Errorf("sweep: point %d: invalid node count %d: want >= 2 (the ping-pong needs two nodes)", p.Index, p.Nodes)
 		}
 		if p.DropProb < 0 || p.DropProb >= 1 {
-			return nil, fmt.Errorf("sweep: point %d: drop probability %g outside [0,1)", p.Index, p.DropProb)
+			return nil, fmt.Errorf("sweep: point %d: invalid drop probability %g: want [0,1)", p.Index, p.DropProb)
 		}
 		if p.Burst < 0 {
-			return nil, fmt.Errorf("sweep: point %d: negative burst length %g", p.Index, p.Burst)
+			return nil, fmt.Errorf("sweep: point %d: invalid burst length %g: want >= 0", p.Index, p.Burst)
 		}
 		if err := p.Config().Validate(); err != nil {
 			return nil, fmt.Errorf("sweep: point %d: %w", p.Index, err)

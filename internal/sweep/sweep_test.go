@@ -301,3 +301,35 @@ func TestSerializationShape(t *testing.T) {
 		t.Errorf("CSV row has %d cells, header names %d", got, want)
 	}
 }
+
+// TestRunValidationMessages pins the rejection style shared with
+// cluster.Config.Validate: every message names the offending point, the
+// offending value, and the valid range.
+func TestRunValidationMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		grid Grid
+		want string
+	}{
+		{"size", Grid{Sizes: []int{-4}}, "invalid message size -4 B: want >= 0"},
+		{"bg streams", Grid{BgStreams: []int{-2}}, "invalid background stream count -2: want >= 0"},
+		{"nodes", Grid{Nodes: []int{1}}, "invalid node count 1: want >= 2"},
+		{"drop prob", Grid{DropProb: []float64{1.5}}, "invalid drop probability 1.5: want [0,1)"},
+		{"burst", Grid{DropProb: []float64{0.1}, Burst: []float64{-3}}, "invalid burst length -3: want >= 0"},
+		{"queues via config", Grid{Queues: []int{-1}}, "invalid queue count -1: want >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(tc.grid, 1)
+			if err == nil {
+				t.Fatalf("grid accepted: %+v", tc.grid)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "point 0") {
+				t.Errorf("error %q does not name the offending point", err)
+			}
+		})
+	}
+}

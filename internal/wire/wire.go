@@ -249,20 +249,24 @@ type Frame struct {
 // frames built outside a pool. The count is manipulated atomically: under
 // the sharded engine a frame's sender (retransmission retain) and receiver
 // (delivery release) may live on different shards.
+//
+//omxlint:hotpath
 func (f *Frame) Ref() {
 	if f.pool != nil {
-		atomic.AddInt32(&f.refs, 1)
+		atomic.AddInt32(&f.refs, 1) //omxlint:allow goroutine: frame refcounts/pool cross shard goroutines under -par (Share contract, audited in PR 6; race-checked in CI)
 	}
 }
 
 // Release drops one reference; the last release returns the frame to its
 // pool. Releasing a frame built outside a pool is a no-op, so protocol code
 // may release unconditionally.
+//
+//omxlint:hotpath
 func (f *Frame) Release() {
 	if f.pool == nil {
 		return
 	}
-	n := atomic.AddInt32(&f.refs, -1)
+	n := atomic.AddInt32(&f.refs, -1) //omxlint:allow goroutine: frame refcounts/pool cross shard goroutines under -par (Share contract, audited in PR 6; race-checked in CI)
 	if n > 0 {
 		return
 	}
@@ -281,7 +285,7 @@ func (f *Frame) Release() {
 // at build time to put the free list behind a mutex.
 type Pool struct {
 	shared bool
-	mu     sync.Mutex
+	mu     sync.Mutex //omxlint:allow goroutine: frame refcounts/pool cross shard goroutines under -par (Share contract, audited in PR 6; race-checked in CI)
 	free   []*Frame
 }
 
@@ -293,9 +297,11 @@ func NewPool() *Pool { return &Pool{} }
 func (p *Pool) Share() { p.shared = true }
 
 // take pops a free frame, or nil when the list is empty.
+//
+//omxlint:hotpath
 func (p *Pool) take() *Frame {
 	if p.shared {
-		p.mu.Lock()
+		p.mu.Lock() //omxlint:allow goroutine: frame refcounts/pool cross shard goroutines under -par (Share contract, audited in PR 6; race-checked in CI)
 		defer p.mu.Unlock()
 	}
 	n := len(p.free)
@@ -309,19 +315,25 @@ func (p *Pool) take() *Frame {
 }
 
 // put returns a dead frame to the free list.
+//
+//omxlint:hotpath
 func (p *Pool) put(f *Frame) {
 	if p.shared {
-		p.mu.Lock()
+		p.mu.Lock() //omxlint:allow goroutine: frame refcounts/pool cross shard goroutines under -par (Share contract, audited in PR 6; race-checked in CI)
 		defer p.mu.Unlock()
 	}
+	//omxlint:allow hotpathalloc: free-list growth is amortized; the frame round trip is guarded at <= 1 alloc by AllocsPerRun
 	p.free = append(p.free, f)
 }
 
 // Get returns a frame initialized exactly like NewFrame, holding one
 // reference, recycling a free frame when available.
+//
+//omxlint:hotpath
 func (p *Pool) Get(src, dst MAC, h Header, payload []byte, payloadLen int) *Frame {
 	f := p.take()
 	if f == nil {
+		//omxlint:allow hotpathalloc: cold-path pool refill; steady state recycles (frame round trip guarded at <= 1 alloc)
 		f = &Frame{pool: p}
 	}
 	if payload != nil {
@@ -333,7 +345,7 @@ func (p *Pool) Get(src, dst MAC, h Header, payload []byte, payloadLen int) *Fram
 	f.Header = h
 	f.Payload = payload
 	f.PayloadLen = payloadLen
-	atomic.StoreInt32(&f.refs, 1)
+	atomic.StoreInt32(&f.refs, 1) //omxlint:allow goroutine: frame refcounts/pool cross shard goroutines under -par (Share contract, audited in PR 6; race-checked in CI)
 	return f
 }
 
