@@ -15,6 +15,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"openmxsim/internal/cliflag"
+	"openmxsim/internal/serve"
 	"openmxsim/internal/sweep"
 )
 
@@ -48,6 +51,7 @@ func run() int {
 	rate := flag.Bool("rate", false, "also measure message rate at every point")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	par := cliflag.Par()
+	cacheDir := cliflag.CacheDir()
 	qframes := flag.Int("qframes", 0, "switch egress queue bound in frames (0 = ideal unbounded port; -par > 1 needs it)")
 	out := flag.String("out", "-", "JSON output path ('-' = stdout, '' = none)")
 	csvOut := flag.String("csvout", "", "CSV output path ('-' = stdout, '' = none)")
@@ -85,22 +89,60 @@ func run() int {
 		}()
 	}
 
-	grid, err := buildGrid(*strategies, *delays, *sizes, *irq, *queues, *nodes, *bg, *seeds, *drops, *bursts)
+	// The same string-axes vocabulary omxserve accepts over HTTP: one
+	// parser, one grid, whichever way the sweep arrives.
+	spec := cliflag.GridSpec{
+		Strategies: *strategies, Delays: *delays, Sizes: *sizes,
+		IRQ: *irq, Queues: *queues, Nodes: *nodes, Bg: *bg,
+		Seeds: *seeds, Drop: *drops, Burst: *bursts,
+		Iters: *iters, Rate: *rate, QFrames: *qframes,
+	}
+	grid, err := spec.Grid()
 	if err != nil {
 		return fail(err)
 	}
-	grid.Iters = *iters
-	grid.Rate = *rate
 	grid.Par = *par
-	grid.QFrames = *qframes
 
-	fmt.Fprintf(os.Stderr, "sweeping %d points on %d workers\n", grid.Size(), grid.Workers(*workers))
-	start := time.Now()
-	results, err := sweep.Run(grid, *workers)
+	// The crash-safe result cache omxserve uses, shared: a sweep run here
+	// pre-warms the server, a server run answers this CLI instantly. The
+	// key is the canonical grid — execution shape (-workers, -par) never
+	// splits it, because results are byte-identical across both.
+	var cache *serve.Cache
+	if *cacheDir != "" {
+		if cache, err = serve.OpenCache(*cacheDir, serve.ResultsVersion); err != nil {
+			return fail(err)
+		}
+	}
+	key, err := cache.Key("sweep", grid.Canonical())
 	if err != nil {
 		return fail(err)
 	}
-	elapsed := time.Since(start)
+
+	var results sweep.Results
+	var payload []byte
+	if p, ok := cache.Get(key); ok {
+		if err := json.Unmarshal(p, &results); err != nil {
+			return fail(fmt.Errorf("cached entry %s undecodable: %w", key, err))
+		}
+		payload = p
+		fmt.Fprintf(os.Stderr, "[%d points from cache %s]\n", len(results), *cacheDir)
+	} else {
+		fmt.Fprintf(os.Stderr, "sweeping %d points on %d workers\n", grid.Size(), grid.Workers(*workers))
+		start := time.Now()
+		if results, err = sweep.Run(grid, *workers); err != nil {
+			return fail(err)
+		}
+		var buf bytes.Buffer
+		if err := results.WriteJSON(&buf); err != nil {
+			return fail(err)
+		}
+		payload = buf.Bytes()
+		if cerr := cache.Put(key, payload); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr) // costs a future hit, not this run
+		}
+		fmt.Fprintf(os.Stderr, "[%d points in %.2fs wall]\n",
+			len(results), time.Since(start).Seconds())
+	}
 
 	failed := 0
 	for _, r := range results {
@@ -109,14 +151,14 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "point %d failed: %s\n", r.Index, r.Err)
 		}
 	}
-	if err := emit(*out, results.WriteJSON); err != nil {
+	// JSON output re-emits the payload bytes verbatim so fresh runs,
+	// cache hits, and the server's /result body are all byte-identical.
+	if err := emit(*out, func(w io.Writer) error { _, werr := w.Write(payload); return werr }); err != nil {
 		return fail(err)
 	}
 	if err := emit(*csvOut, results.WriteCSV); err != nil {
 		return fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "[%d points in %.2fs wall, %d failed]\n",
-		len(results), elapsed.Seconds(), failed)
 	if failed > 0 {
 		return 1
 	}
@@ -140,44 +182,6 @@ func emit(path string, fn func(w io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-// buildGrid assembles the sweep grid from the axis flags via the shared
-// cliflag parsers (the same vocabulary as omxsim and omxtune).
-func buildGrid(strategies, delays, sizes, irq, queues, nodes, bg, seeds, drops, bursts string) (sweep.Grid, error) {
-	var g sweep.Grid
-	var err error
-	if g.Strategies, err = cliflag.Strategies(strategies); err != nil {
-		return g, err
-	}
-	if g.Delays, err = cliflag.Delays(delays); err != nil {
-		return g, err
-	}
-	if g.Sizes, err = cliflag.Ints(sizes, "size"); err != nil {
-		return g, err
-	}
-	if g.IRQ, err = cliflag.IRQPolicies(irq); err != nil {
-		return g, err
-	}
-	if g.Queues, err = cliflag.Ints(queues, "queue count"); err != nil {
-		return g, err
-	}
-	if g.Nodes, err = cliflag.Ints(nodes, "node count"); err != nil {
-		return g, err
-	}
-	if g.BgStreams, err = cliflag.Ints(bg, "background stream count"); err != nil {
-		return g, err
-	}
-	if g.Seeds, err = cliflag.Uint64s(seeds, "seed"); err != nil {
-		return g, err
-	}
-	if g.DropProb, err = cliflag.Float64s(drops, "drop probability"); err != nil {
-		return g, err
-	}
-	if g.Burst, err = cliflag.Float64s(bursts, "burst length"); err != nil {
-		return g, err
-	}
-	return g, nil
 }
 
 // fail reports err and yields the failure exit code, letting deferred

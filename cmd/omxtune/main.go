@@ -18,6 +18,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"openmxsim/internal/cliflag"
+	"openmxsim/internal/serve"
 	"openmxsim/internal/tune"
 	"openmxsim/internal/units"
 )
@@ -49,6 +52,7 @@ func run() int {
 	burst := flag.Float64("burst", 1, "mean loss-episode length for -drop (1 = uniform loss)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	jsonOut := flag.Bool("json", false, "emit the full outcome as JSON instead of text")
+	cacheDir := cliflag.CacheDir()
 	sched := cliflag.Sched()
 	flag.Parse()
 
@@ -88,16 +92,50 @@ func run() int {
 		Workers:       *workers,
 		Par:           *par,
 	}
-	start := time.Now()
-	out, err := tune.Search(spec)
+	// The same cache omxserve and omxsweep share: a tuned workload is
+	// answered from disk the next time, by this CLI or by the server.
+	var cache *serve.Cache
+	if *cacheDir != "" {
+		if cache, err = serve.OpenCache(*cacheDir, serve.ResultsVersion); err != nil {
+			return fail(err)
+		}
+	}
+	key, err := cache.Key("tune", spec.Canonical())
 	if err != nil {
 		return fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "[%d/%d evaluations in %.2fs wall]\n",
-		out.Evals, out.Exhaustive, time.Since(start).Seconds())
+
+	var out *tune.Outcome
+	var payload []byte
+	if p, ok := cache.Get(key); ok {
+		out = new(tune.Outcome)
+		if err := json.Unmarshal(p, out); err != nil {
+			return fail(fmt.Errorf("cached entry %s undecodable: %w", key, err))
+		}
+		payload = p
+		fmt.Fprintf(os.Stderr, "[%d/%d evaluations from cache %s]\n",
+			out.Evals, out.Exhaustive, *cacheDir)
+	} else {
+		start := time.Now()
+		if out, err = tune.Search(spec); err != nil {
+			return fail(err)
+		}
+		var buf bytes.Buffer
+		if err := out.WriteJSON(&buf); err != nil {
+			return fail(err)
+		}
+		payload = buf.Bytes()
+		if cerr := cache.Put(key, payload); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr) // costs a future hit, not this run
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d evaluations in %.2fs wall]\n",
+			out.Evals, out.Exhaustive, time.Since(start).Seconds())
+	}
 
 	if *jsonOut {
-		if err := out.WriteJSON(os.Stdout); err != nil {
+		// The payload bytes verbatim: fresh runs, cache hits, and the
+		// server's /result body are all byte-identical.
+		if _, err := os.Stdout.Write(payload); err != nil {
 			return fail(err)
 		}
 		return 0

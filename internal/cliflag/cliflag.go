@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"openmxsim/internal/fabric"
 	"openmxsim/internal/host"
 	"openmxsim/internal/nic"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/sweep"
 )
 
 // Sched registers the canonical -sched flag on the default flag set.
@@ -35,6 +37,34 @@ func ApplySched(name string) error {
 // output-queued topology to engage and produce bit-identical results.
 func Par() *int {
 	return flag.Int("par", 1, "simulation shards per cluster (1 = serial reference engine; needs an output-queued topology to engage)")
+}
+
+// Addr registers the canonical -addr flag: the host:port the simulation
+// service listens on. The default binds loopback only — exposing a
+// simulation executor to a network is an explicit decision.
+func Addr() *string {
+	return flag.String("addr", "127.0.0.1:8080", "host:port the service listens on (loopback by default)")
+}
+
+// CacheDir registers the canonical -cache-dir flag: the directory of the
+// crash-safe content-addressed result cache shared by omxserve and the
+// offline CLIs. Empty (the default) disables caching entirely.
+func CacheDir() *string {
+	return flag.String("cache-dir", "", "content-addressed result cache directory ('' = no cache)")
+}
+
+// MaxJobs registers the canonical -max-jobs flag: the admission-queue
+// bound of the simulation service. Submissions beyond it are shed with
+// HTTP 429 rather than queued into unbounded memory.
+func MaxJobs() *int {
+	return flag.Int("max-jobs", 64, "admission queue bound; beyond it submissions are shed with 429")
+}
+
+// JobTimeout registers the canonical -job-timeout flag: the per-job
+// deadline of the simulation service. A job still running past it is
+// cancelled at the next between-points seam and reported failed.
+func JobTimeout() *time.Duration {
+	return flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock deadline (0 = none)")
 }
 
 // Strategy parses a single coalescing-strategy name.
@@ -191,6 +221,69 @@ func (ff *FaultFlags) Build() (*fabric.Fault, error) {
 		DelayProb: *ff.DelayProb,
 		DelayTime: DelayUS(*ff.DelayUS),
 	}, nil
+}
+
+// GridSpec is the string-form sweep description shared by omxsweep's
+// flags and omxserve's JSON job submissions: every axis in exactly the
+// spelling the CLI accepts, so a job POSTed to the server and a sweep run
+// offline parse through one vocabulary and produce one grid — the
+// byte-identical-results contract between the two starts here. Empty
+// fields leave the corresponding Grid axis empty (paper defaults).
+type GridSpec struct {
+	Strategies string `json:"strategies,omitempty"`
+	Delays     string `json:"delays,omitempty"`
+	Sizes      string `json:"sizes,omitempty"`
+	IRQ        string `json:"irq,omitempty"`
+	Queues     string `json:"queues,omitempty"`
+	Nodes      string `json:"nodes,omitempty"`
+	Bg         string `json:"bg,omitempty"`
+	Seeds      string `json:"seeds,omitempty"`
+	Drop       string `json:"drop,omitempty"`
+	Burst      string `json:"burst,omitempty"`
+	Iters      int    `json:"iters,omitempty"`
+	Rate       bool   `json:"rate,omitempty"`
+	QFrames    int    `json:"qframes,omitempty"`
+}
+
+// Grid parses every axis and assembles the sweep grid. Errors carry the
+// axis vocabulary's own messages, pinpointing the bad element.
+func (s GridSpec) Grid() (sweep.Grid, error) {
+	var g sweep.Grid
+	var err error
+	if g.Strategies, err = Strategies(s.Strategies); err != nil {
+		return g, err
+	}
+	if g.Delays, err = Delays(s.Delays); err != nil {
+		return g, err
+	}
+	if g.Sizes, err = Ints(s.Sizes, "size"); err != nil {
+		return g, err
+	}
+	if g.IRQ, err = IRQPolicies(s.IRQ); err != nil {
+		return g, err
+	}
+	if g.Queues, err = Ints(s.Queues, "queue count"); err != nil {
+		return g, err
+	}
+	if g.Nodes, err = Ints(s.Nodes, "node count"); err != nil {
+		return g, err
+	}
+	if g.BgStreams, err = Ints(s.Bg, "background stream count"); err != nil {
+		return g, err
+	}
+	if g.Seeds, err = Uint64s(s.Seeds, "seed"); err != nil {
+		return g, err
+	}
+	if g.DropProb, err = Float64s(s.Drop, "drop probability"); err != nil {
+		return g, err
+	}
+	if g.Burst, err = Float64s(s.Burst, "burst length"); err != nil {
+		return g, err
+	}
+	g.Iters = s.Iters
+	g.Rate = s.Rate
+	g.QFrames = s.QFrames
+	return g, nil
 }
 
 // Split breaks a comma-separated list, trimming blanks and dropping empty

@@ -1,6 +1,10 @@
 package cliflag
 
 import (
+	"flag"
+	"strings"
+	"time"
+
 	"reflect"
 	"testing"
 
@@ -63,5 +67,80 @@ func TestSplitDropsBlanks(t *testing.T) {
 	}
 	if got := Split(""); got != nil {
 		t.Errorf("Split(\"\") = %v, want nil", got)
+	}
+}
+
+// TestGridSpecSharedVocabulary: the string-axes form the server accepts
+// over HTTP must build exactly the grid the omxsweep flags build — the
+// byte-identical server-vs-offline contract rides on this equality.
+func TestGridSpecSharedVocabulary(t *testing.T) {
+	spec := GridSpec{
+		Strategies: "timeout,openmx",
+		Delays:     "0:50:25",
+		Sizes:      "1,4096",
+		IRQ:        "round-robin",
+		Seeds:      "1,7",
+		Drop:       "0,0.02",
+		Burst:      "1",
+		Iters:      5,
+		Rate:       true,
+		QFrames:    64,
+	}
+	g, err := spec.Grid()
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if len(g.Strategies) != 2 || len(g.Delays) != 3 || len(g.Sizes) != 2 ||
+		len(g.Seeds) != 2 || len(g.DropProb) != 2 {
+		t.Fatalf("axes mis-parsed: %+v", g)
+	}
+	if g.Iters != 5 || !g.Rate || g.QFrames != 64 {
+		t.Errorf("scalar knobs lost: %+v", g)
+	}
+	// The zero GridSpec is the paper-default single point.
+	g, err = GridSpec{}.Grid()
+	if err != nil {
+		t.Fatalf("zero GridSpec: %v", err)
+	}
+	if g.Size() != 1 {
+		t.Errorf("zero GridSpec expands to %d points, want 1", g.Size())
+	}
+	// Axis errors surface with the axis's own message.
+	if _, err := (GridSpec{Sizes: "12,bogus"}).Grid(); err == nil {
+		t.Error("bad size accepted")
+	}
+	if _, err := (GridSpec{Strategies: "nope"}).Grid(); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}
+
+// TestServiceFlagsRegister pins the service flag group's names and
+// defaults: loopback-only addr, cache off, bounded queue, finite job
+// deadline.
+func TestServiceFlagsRegister(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	old := flag.CommandLine
+	flag.CommandLine = fs
+	defer func() { flag.CommandLine = old }()
+
+	addr, dir, jobs, timeout := Addr(), CacheDir(), MaxJobs(), JobTimeout()
+	if err := fs.Parse([]string{"-addr", "127.0.0.1:0", "-cache-dir", "/tmp/c", "-max-jobs", "3", "-job-timeout", "30s"}); err != nil {
+		t.Fatal(err)
+	}
+	if *addr != "127.0.0.1:0" || *dir != "/tmp/c" || *jobs != 3 || *timeout != 30*time.Second {
+		t.Errorf("parsed %q %q %d %v", *addr, *dir, *jobs, *timeout)
+	}
+
+	fs2 := flag.NewFlagSet("defaults", flag.ContinueOnError)
+	flag.CommandLine = fs2
+	addr, dir, jobs, timeout = Addr(), CacheDir(), MaxJobs(), JobTimeout()
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(*addr, "127.0.0.1") {
+		t.Errorf("default -addr %q is not loopback-only", *addr)
+	}
+	if *dir != "" || *jobs <= 0 || *timeout <= 0 {
+		t.Errorf("defaults: dir=%q jobs=%d timeout=%v", *dir, *jobs, *timeout)
 	}
 }

@@ -68,6 +68,14 @@ func pathBase(path string) string {
 
 func simVisible(path string) bool { return simVisiblePackages[pathBase(path)] }
 
+// SimVisible reports whether the package at path is inside the
+// simulation-visible boundary the suite polices. Exported so tests can
+// pin the boundary itself: the serve control plane, for example, must
+// stay outside it — its goroutines, clocks, and maps are load-bearing —
+// and a rename or map edit that silently pulled it inside (or pushed a
+// simulation package outside) should fail a test, not a code review.
+func SimVisible(path string) bool { return simVisible(path) }
+
 // Analyzers returns the full omxlint suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{ForbiddenCalls, MapRange, Goroutine, HotPathAlloc}

@@ -60,6 +60,46 @@ func TestControlFixture(t *testing.T) {
 	}
 }
 
+// TestServeFixtureOutsideBoundary pins the service boundary: the serve
+// control plane lives outside the simulation-visible set, so its
+// goroutines, wall-clock deadlines, and map-ordered bookkeeping — all
+// load-bearing for an HTTP service — draw no findings. The fixture
+// mirrors internal/serve's structure; if the boundary ever moves, the
+// suite lights up here before it silences real findings elsewhere.
+func TestServeFixtureOutsideBoundary(t *testing.T) {
+	sum := analysistest.Run(t, fixture("src", "serve"), lint.Analyzers()...)
+	if sum.Findings != 0 {
+		t.Errorf("serve fixture produced %d findings, want 0 (control plane must stay outside the sim-visible boundary)", sum.Findings)
+	}
+}
+
+// TestSimVisibleBoundary pins the boundary map itself in both
+// directions: the packages whose determinism the reports rest on are
+// inside, and the operational layers (service, sweep pool, CLIs) are
+// outside — where goroutines and clocks are legal and audited by tests
+// instead.
+func TestSimVisibleBoundary(t *testing.T) {
+	for _, path := range []string{
+		"openmxsim/internal/sim", "openmxsim/internal/fabric",
+		"openmxsim/internal/nic", "openmxsim/internal/omx",
+		"openmxsim/internal/host", "openmxsim/internal/chaos",
+		"openmxsim/internal/cluster", "openmxsim/internal/mpi",
+	} {
+		if !lint.SimVisible(path) {
+			t.Errorf("%s fell outside the sim-visible boundary; the suite no longer polices it", path)
+		}
+	}
+	for _, path := range []string{
+		"openmxsim/internal/serve", "openmxsim/internal/sweep",
+		"openmxsim/internal/tune", "openmxsim/internal/cliflag",
+		"openmxsim/cmd/omxserve",
+	} {
+		if lint.SimVisible(path) {
+			t.Errorf("%s moved inside the sim-visible boundary; its intentional concurrency/clocks would now be findings", path)
+		}
+	}
+}
+
 // TestCIRedFixtureFails proves the seeded CI fixture actually trips the
 // suite — if this test fails, the red step in the lint job is testing
 // nothing.

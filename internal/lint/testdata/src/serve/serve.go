@@ -1,0 +1,62 @@
+// Package serve is the control-plane fixture: it mirrors what the real
+// internal/serve does — wall-clock deadlines, goroutines and channels
+// for the executor pool, map-ordered bookkeeping — all of which is
+// load-bearing for an HTTP service and none of which may leak into a
+// simulation. The package name sits outside the simulation-visible set,
+// so the entire suite must stay silent here; if serve ever becomes
+// sim-visible, these same lines become findings and the lint-scope test
+// catches the boundary move.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Supervise runs jobs with a wall-clock deadline each — the service's
+// job-timeout layer in miniature.
+func Supervise(jobs []func(), timeout time.Duration) int {
+	done := 0
+	for _, job := range jobs {
+		start := time.Now()
+		finished := make(chan struct{})
+		go func() {
+			job()
+			close(finished)
+		}()
+		select {
+		case <-finished:
+			if time.Since(start) <= timeout {
+				done++
+			}
+		case <-time.After(timeout):
+		}
+	}
+	return done
+}
+
+// Drain waits for in-flight work, the SIGTERM path in miniature.
+func Drain(inflight *sync.WaitGroup, timeout time.Duration) bool {
+	c := make(chan struct{})
+	go func() {
+		inflight.Wait()
+		close(c)
+	}()
+	select {
+	case <-c:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// CountStates aggregates a job table by state, iterating the map in
+// whatever order the runtime picks — fine for metrics, forbidden for
+// simulation state.
+func CountStates(jobs map[string]string) map[string]int {
+	counts := map[string]int{}
+	for _, state := range jobs {
+		counts[state]++
+	}
+	return counts
+}

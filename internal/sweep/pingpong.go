@@ -17,6 +17,9 @@ type ProtoCounters struct {
 	Backoffs    uint64
 	GiveUps     uint64
 	PullRetries uint64
+	// FeedbackSteps sums the closed-loop coalescer's delay adjustments
+	// over every NIC — always 0 unless a point runs StrategyFeedback.
+	FeedbackSteps uint64
 }
 
 func protoCounters(cl *cluster.Cluster) ProtoCounters {
@@ -26,6 +29,9 @@ func protoCounters(cl *cluster.Cluster) ProtoCounters {
 		pc.Backoffs += s.Stats.Backoffs
 		pc.GiveUps += s.Stats.GiveUps
 		pc.PullRetries += s.Stats.PullBlockRetries
+	}
+	for _, n := range cl.NICs {
+		pc.FeedbackSteps += n.Stats.FeedbackSteps
 	}
 	return pc
 }

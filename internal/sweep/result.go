@@ -46,6 +46,10 @@ type Result struct {
 	Backoffs    uint64 `json:"backoffs"`
 	GiveUps     uint64 `json:"give_ups"`
 	PullRetries uint64 `json:"pull_retries"`
+	// FeedbackSteps counts the closed-loop coalescer's delay adjustments
+	// over the point (0 unless the point runs the feedback strategy) —
+	// the telemetry the service streams alongside each result.
+	FeedbackSteps uint64 `json:"feedback_steps"`
 	// Err is set when the point failed instead of measuring.
 	Err string `json:"error,omitempty"`
 }
@@ -77,7 +81,7 @@ var csvHeader = []string{
 	"sleep_disabled", "nodes", "bg_streams", "drop_prob", "burst",
 	"latency_ns", "interrupts", "intr_per_msg", "rate_msg_per_sec",
 	"rate_intr_per_sec", "retransmits", "backoffs", "give_ups",
-	"pull_retries", "error",
+	"pull_retries", "feedback_steps", "error",
 }
 
 // WriteCSV writes the results as comma-separated values with a header row.
@@ -101,6 +105,7 @@ func (rs Results) WriteCSV(w io.Writer) error {
 			strconv.FormatUint(r.Backoffs, 10),
 			strconv.FormatUint(r.GiveUps, 10),
 			strconv.FormatUint(r.PullRetries, 10),
+			strconv.FormatUint(r.FeedbackSteps, 10),
 			r.Err,
 		}
 		if err := cw.Write(cells); err != nil {

@@ -1,13 +1,21 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"openmxsim/internal/fabric"
 	"openmxsim/internal/sim"
 )
+
+// Observer receives each point's result the moment its simulation
+// completes. It is invoked from the worker goroutines, concurrently and
+// in completion order (not grid order); implementations must be safe for
+// concurrent use. A nil Observer is ignored.
+type Observer func(Result)
 
 // Run expands the grid and executes every point on a pool of workers
 // (workers <= 0 means GOMAXPROCS). Each point builds its own clusters from
@@ -16,6 +24,19 @@ import (
 // order. A point that fails records its error in Result.Err instead of
 // aborting the sweep.
 func Run(g Grid, workers int) (Results, error) {
+	return RunContext(context.Background(), g, workers, nil)
+}
+
+// RunContext is Run under external supervision: ctx cancellation (or
+// deadline expiry) is checked between points only — a point that has
+// started always finishes, so every completed result is bit-identical to
+// the same point of an uncancelled run. On cancellation the full-length
+// result slice still comes back in grid order: completed points carry
+// their measurements, unstarted points carry the cancellation cause in
+// Result.Err, and the returned error wraps ctx's error (errors.Is
+// against context.Canceled / DeadlineExceeded works). obs, when non-nil,
+// observes every completed result as it lands (see Observer).
+func RunContext(ctx context.Context, g Grid, workers int, obs Observer) (Results, error) {
 	g = g.normalized()
 	pts := g.Points() // never empty: normalized() fills every axis
 	// Rejections mirror cluster.Config.Validate's shape — "invalid <field>
@@ -56,6 +77,11 @@ func Run(g Grid, workers int) (Results, error) {
 		jobs <- i
 	}
 	close(jobs)
+	// done[i] flags points that actually ran (each index is claimed by
+	// exactly one worker, so plain bool writes never race); completed
+	// counts them for the cancellation error.
+	done := make([]bool, len(pts))
+	var completed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -66,12 +92,55 @@ func Run(g Grid, workers int) (Results, error) {
 			// dispatch loop allocation-free.
 			var scratch pointScratch
 			for i := range jobs {
+				// The supervision seam: cancellation is observed here,
+				// between points, never inside one — the worker abandons
+				// the rest of its queue and the started points' results
+				// stay untouched.
+				if ctx.Err() != nil {
+					return
+				}
 				results[i] = runPoint(g, pts[i], &scratch)
+				done[i] = true
+				completed.Add(1)
+				if obs != nil {
+					obs(results[i])
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i, p := range pts {
+			if !done[i] {
+				results[i] = cancelledResult(g, p, err)
+			}
+		}
+		return results, fmt.Errorf("sweep: cancelled after %d of %d points: %w",
+			completed.Load(), len(pts), err)
+	}
 	return results, nil
+}
+
+// cancelledResult is the placeholder for a point the supervision seam
+// skipped: the point's coordinates with the cancellation cause in Err, so
+// partial result sets stay full-length, grid-ordered, and self-describing.
+func cancelledResult(g Grid, p Point, cause error) Result {
+	cfg := p.Config()
+	return Result{
+		Index:         p.Index,
+		Strategy:      p.Strategy.String(),
+		DelayUS:       float64(p.Delay) / float64(sim.Microsecond),
+		SizeBytes:     p.Size,
+		IRQ:           p.IRQ.String(),
+		Queues:        p.Queues,
+		Seed:          p.Seed,
+		SleepDisabled: p.SleepDisabled,
+		Nodes:         cfg.Nodes,
+		BgStreams:     p.BgStreams,
+		DropProb:      p.DropProb,
+		Burst:         p.Burst,
+		Err:           fmt.Sprintf("cancelled: %v", cause),
+	}
 }
 
 // workerBudget resolves the worker-pool size: non-positive means
@@ -150,6 +219,7 @@ func runPoint(g Grid, p Point, scratch *pointScratch) (res Result) {
 	res.Backoffs = pc.Backoffs
 	res.GiveUps = pc.GiveUps
 	res.PullRetries = pc.PullRetries
+	res.FeedbackSteps = pc.FeedbackSteps
 	if err != nil {
 		res.Err = err.Error()
 		return res

@@ -188,6 +188,17 @@ func (g Grid) normalized() Grid {
 	return g
 }
 
+// Canonical returns the grid in content-address form: every empty axis
+// filled with its default — so equivalent spellings of the same sweep
+// collide on one cache key — and the execution-only Par knob cleared,
+// because sweep output is bit-identical at any parallelism and worker
+// count and must not split a result cache by machine shape.
+func (g Grid) Canonical() Grid {
+	g = g.normalized()
+	g.Par = 0
+	return g
+}
+
 // Size returns the number of points the grid expands to.
 func (g Grid) Size() int {
 	g = g.normalized()

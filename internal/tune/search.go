@@ -1,6 +1,7 @@
 package tune
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -70,6 +71,13 @@ type Spec struct {
 	// (sweep.Grid.Par). Excluded from JSON for the same reason as Workers:
 	// the outcome is identical at any parallelism.
 	Par int `json:"-"`
+	// Observer, when non-nil, receives every evaluated point's result the
+	// moment its simulation completes (sweep.Observer semantics: worker
+	// goroutines, completion order, Index still carrying the per-batch
+	// position — the Outcome reindexes afterwards). Execution-only, like
+	// Workers and Par: it never affects the outcome and never reaches the
+	// JSON form.
+	Observer sweep.Observer `json:"-"`
 }
 
 // normalized fills defaulted Spec fields; the delay lattice comes back
@@ -228,8 +236,21 @@ func FeedbackGoalFor(p Point) nic.FeedbackGoal {
 	return g
 }
 
+// Canonical returns the spec in content-address form: every defaulted
+// field filled — so equivalent spellings of the same tuning problem
+// collide on one cache key — and the execution-only knobs (Workers, Par,
+// Observer) cleared, because the outcome is bit-identical at any worker
+// count and parallelism and must not split a result cache by machine
+// shape.
+func (s Spec) Canonical() Spec {
+	s = s.normalized()
+	s.Workers, s.Par, s.Observer = 0, 0, nil
+	return s
+}
+
 // searcher carries one Search invocation's state.
 type searcher struct {
+	ctx       context.Context
 	spec      Spec
 	lattice   []sim.Time
 	seen      map[searchKey]bool
@@ -250,11 +271,22 @@ type searchKey struct {
 // so the same Spec converges to the same point at any worker count. The
 // search stops at Spec.MaxEvals simulated points.
 func Search(spec Spec) (*Outcome, error) {
+	return SearchContext(context.Background(), spec)
+}
+
+// SearchContext is Search under external supervision: ctx cancellation is
+// observed at the sweep executor's between-points seam, so every
+// completed evaluation is bit-identical to an uncancelled search's. A
+// cancelled search returns a nil Outcome and an error wrapping ctx's
+// (errors.Is against context.Canceled / DeadlineExceeded works) — unlike
+// a sweep, a truncated search has no meaningful partial answer, because
+// the knee moves as points land.
+func SearchContext(ctx context.Context, spec Spec) (*Outcome, error) {
 	spec = spec.normalized()
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	s := &searcher{spec: spec, lattice: spec.Delays, seen: map[searchKey]bool{}}
+	s := &searcher{ctx: ctx, spec: spec, lattice: spec.Delays, seen: map[searchKey]bool{}}
 
 	// Phase 1 — coarse: every strategy at both lattice endpoints and the
 	// midpoint, so the frontier's extremes (which anchor the knee chord)
@@ -387,7 +419,7 @@ func (s *searcher) evalBatch(st nic.Strategy, indices []int) error {
 		g.DropProb = []float64{s.spec.DropProb}
 		g.Burst = []float64{s.spec.Burst}
 	}
-	rs, err := sweep.Run(g, s.spec.Workers)
+	rs, err := sweep.RunContext(s.ctx, g, s.spec.Workers, s.spec.Observer)
 	if err != nil {
 		return err
 	}

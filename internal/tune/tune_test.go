@@ -2,6 +2,9 @@ package tune
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
 	"os"
 	"strings"
 	"testing"
@@ -266,5 +269,67 @@ func TestSearchDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if !bytes.Equal(js, jp) {
 		t.Fatalf("worker count changed the outcome JSON:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", js, jp)
+	}
+}
+
+// TestSearchContextCancelled pins the supervision seam: a search under an
+// already-cancelled context evaluates nothing and surfaces the context's
+// error (never a half-built Outcome), and a mid-search cancel triggered
+// from the observer stops the search with the same error shape — the
+// server's job supervisor relies on both to distinguish "user cancelled"
+// from "search failed".
+func TestSearchContextCancelled(t *testing.T) {
+	spec := Spec{
+		Strategies: []nic.Strategy{nic.StrategyTimeout, nic.StrategyOpenMX},
+		Delays:     []sim.Time{0, 15 * sim.Microsecond, 30 * sim.Microsecond},
+		Iters:      2,
+		MaxEvals:   8,
+	}
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if out, err := SearchContext(pre, spec); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled SearchContext = (%v, %v), want context.Canceled", out, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	evals := 0
+	spec.Workers = 1
+	spec.Observer = func(sweep.Result) {
+		evals++
+		if evals == 2 {
+			cancel()
+		}
+	}
+	out, err := SearchContext(ctx, spec)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-search cancel returned (%v, %v), want context.Canceled", out, err)
+	}
+	if evals >= spec.MaxEvals {
+		t.Fatalf("observer saw %d evaluations; the cancel did not stop the search early", evals)
+	}
+}
+
+// TestSpecCanonicalStripsExecutionKnobs pins the cache-key form: two
+// spellings of the same problem canonicalize identically whatever their
+// Workers/Par/Observer, so a shared result cache never splits by machine
+// shape.
+func TestSpecCanonicalStripsExecutionKnobs(t *testing.T) {
+	a := Spec{Size: 128}.Canonical()
+	b := Spec{Size: 128, Workers: 7, Par: 4, Observer: func(sweep.Result) {}}.Canonical()
+	if b.Workers != 0 || b.Par != 0 || b.Observer != nil {
+		t.Fatalf("Canonical kept execution knobs: %+v", b)
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("equivalent specs canonicalized differently:\n%s\n%s", aj, bj)
 	}
 }
