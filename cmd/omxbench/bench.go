@@ -16,6 +16,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"strings"
 	"time"
@@ -155,16 +156,19 @@ func parAB(seed uint64) string {
 	}
 	r1, t1 := run(1)
 	r8, t8 := run(8)
+	// Struct equality via reflect: IncastResult grew a port-stats slice, so
+	// == no longer compiles; DeepEqual keeps the identity check exhaustive.
+	identical := reflect.DeepEqual(r1, r8)
 
 	var md strings.Builder
 	fmt.Fprintf(&md, "### Parallel engine A/B: 64-node incast, %d cores\n\n", runtime.NumCPU())
 	md.WriteString("| par | wall ms | speedup | msg/s | identical |\n|---:|---:|---:|---:|---|\n")
 	fmt.Fprintf(&md, "| 1 | %.0f | 1.00x | %.0f | — |\n", float64(t1.Microseconds())/1000, r1.Rate)
 	fmt.Fprintf(&md, "| 8 | %.0f | %.2fx | %.0f | %v |\n",
-		float64(t8.Microseconds())/1000, t1.Seconds()/t8.Seconds(), r8.Rate, r1 == r8)
+		float64(t8.Microseconds())/1000, t1.Seconds()/t8.Seconds(), r8.Rate, identical)
 	fmt.Fprintf(os.Stderr, "[bench par A/B: par1 %.0fms par8 %.0fms speedup %.2fx identical %v]\n",
 		float64(t1.Microseconds())/1000, float64(t8.Microseconds())/1000,
-		t1.Seconds()/t8.Seconds(), r1 == r8)
+		t1.Seconds()/t8.Seconds(), identical)
 	return md.String()
 }
 

@@ -29,12 +29,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"openmxsim/internal/cliflag"
 	"openmxsim/internal/exp"
+	"openmxsim/internal/trace"
 )
 
 func main() {
@@ -53,6 +56,8 @@ func main() {
 	sched := cliflag.Sched()
 	par := cliflag.Par()
 	summary := flag.String("benchsummary", "", "write a Markdown baseline-comparison table to this file (bench mode)")
+	traceDir := flag.String("trace-dir", "", "write per-experiment telemetry here: <id>.trace.json timelines and (with -sample) <id>.series.csv")
+	sampleSpec := flag.String("sample", "", "virtual-time metric sampling interval for -trace-dir series, e.g. 200us ('' = events only)")
 	flag.Parse()
 
 	if err := cliflag.ApplySched(*sched); err != nil {
@@ -86,6 +91,18 @@ func main() {
 	// In JSON mode the reports accumulate into one array so stdout is a
 	// single valid document even with -run all (and `[]`, not `null`, when
 	// nothing ran).
+	sampleEvery, err := cliflag.SampleInterval(*sampleSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	reports := []*exp.Report{}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -94,8 +111,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		// One fresh recorder per experiment keeps run indices local to the
+		// experiment's own clusters; only experiments that opted into
+		// telemetry attach it, so the files appear only when non-empty.
+		opts.Trace = nil
+		if *traceDir != "" {
+			opts.Trace = trace.New(trace.Config{SampleEvery: sampleEvery, Events: true})
+		}
 		start := time.Now()
 		rep := runner(opts)
+		if rec := opts.Trace; rec != nil && rec.Runs() > 0 {
+			if err := writeTelemetry(*traceDir, id, rec, sampleEvery > 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		switch {
 		case *jsonOut:
 			reports = append(reports, rep)
@@ -114,4 +144,27 @@ func main() {
 		}
 		fmt.Printf("%s\n", b)
 	}
+}
+
+// writeTelemetry writes one experiment's recorder to dir: the Chrome
+// trace-event timeline always, the sampled series only when sampling was on.
+func writeTelemetry(dir, id string, rec *trace.Recorder, sampled bool) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(filepath.Join(dir, id+".trace.json"), rec.WriteChromeTrace); err != nil {
+		return err
+	}
+	if sampled {
+		return write(filepath.Join(dir, id+".series.csv"), rec.WriteSeriesCSV)
+	}
+	return nil
 }

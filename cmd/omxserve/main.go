@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +55,7 @@ func run() int {
 	par := cliflag.Par()
 	retries := flag.Int("retries", 2, "max retries per job on transient failures")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain deadline before running jobs are force-cancelled")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	sched := cliflag.Sched()
 	flag.Parse()
 
@@ -88,7 +90,23 @@ func run() int {
 		Retry:        serve.RetryPolicy{Max: *retries},
 		Log:          logger,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	var handler http.Handler = srv
+	if *pprofOn {
+		// The profiling surface is opt-in: it exposes stacks, heap contents,
+		// and CPU profiles, which do not belong on a default listener even a
+		// loopback one. The wrapper mux routes /debug/pprof/ to the stock
+		// handlers and everything else to the service unchanged.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+		logger.Printf("pprof handlers exposed under /debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()

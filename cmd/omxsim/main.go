@@ -50,8 +50,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	faultFlags := cliflag.Fault()
 	burst := flag.Float64("burst", 1, "loss burstiness: 1 applies -drop as a uniform static fault; > 1 moves -drop into a bursty Gilbert-Elliott scenario of this mean episode length")
+	flap := flag.String("flap", "", "link flaps as comma-separated node:down[:up] Go-duration offsets ('3:10ms:12ms'; no up = down forever)")
 	sched := cliflag.Sched()
 	par := cliflag.Par()
+	traceFlags := cliflag.Trace()
 	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of text")
 	flag.Parse()
 
@@ -100,6 +102,23 @@ func main() {
 		}
 	}
 	cfg.Fault = fault
+	flaps, err := cliflag.Flaps(*flap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(flaps) > 0 {
+		if cfg.Scenario == nil {
+			cfg.Scenario = &chaos.Scenario{Seed: *seed}
+		}
+		cfg.Scenario.Flaps = append(cfg.Scenario.Flaps, flaps...)
+	}
+	rec, err := traceFlags.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg.Trace = rec
 
 	// emit prints v as JSON when -json is set; otherwise it runs text().
 	emit := func(v any, text func()) {
@@ -115,23 +134,32 @@ func main() {
 		fmt.Printf("%s\n", b)
 	}
 
+	// addTelemetry folds the optional observability payloads into a -json
+	// body: per-port switch statistics (queued topologies only) and the
+	// sampled metric series when -sample is on.
+	addTelemetry := func(m map[string]any, ports []fabric.PortStats) map[string]any {
+		if len(ports) > 0 {
+			m["port_stats"] = ports
+		}
+		if rec != nil && rec.SampleEvery() > 0 {
+			m["series"] = rec.Samples()
+		}
+		return m
+	}
+
 	switch *workload {
 	case "pingpong":
-		var lat map[int]sim.Time
-		if *bg > 0 {
-			lat, _, _, err = sweep.RunPingPongLoaded(cfg, []int{*size}, *iters, sweep.Background{Streams: *bg})
-		} else {
-			lat, err = exp.PingPongLatency(cfg, []int{*size}, *iters)
-		}
+		out, err := sweep.RunPingPongLoadedOutcome(cfg, []int{*size}, *iters, sweep.Background{Streams: *bg})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		emit(map[string]any{
+		lat := out.Latency
+		emit(addTelemetry(map[string]any{
 			"workload": "pingpong", "strategy": st.String(), "delay_us": *delay,
 			"irq": cfg.IRQPolicy.String(), "size_bytes": *size,
 			"bg_streams": *bg, "latency_ns": int64(lat[*size]),
-		}, func() {
+		}, out.Ports), func() {
 			fmt.Printf("one-way %s latency: %s (%s, delay %dus, irq %s, bg %d)\n",
 				units.FormatBytes(*size), units.FormatDuration(lat[*size]), st, *delay, *irq, *bg)
 		})
@@ -144,24 +172,24 @@ func main() {
 			Cluster: cfg, Senders: *nodes - 1, Size: *size,
 			Warmup: 5 * sim.Millisecond, Measure: 40 * sim.Millisecond,
 		})
-		emit(map[string]any{
+		emit(addTelemetry(map[string]any{
 			"workload": "incast", "strategy": st.String(), "delay_us": *delay,
 			"senders": *nodes - 1, "size_bytes": *size,
 			"rate_msg_per_sec": res.Rate, "intr_per_sec": res.IntrRate,
 			"port_drops": res.PortDrops, "max_queue_frames": res.MaxQueueFrames,
 			"queue_wait_ns": res.QueueWaitNS,
-		}, func() {
+		}, res.Ports), func() {
 			fmt.Printf("incast %d->1 %s: %s msg/s, %s intr/s, %d drops, maxq %d (%s)\n",
 				*nodes-1, units.FormatBytes(*size), units.FormatRate(res.Rate),
 				units.FormatRate(res.IntrRate), res.PortDrops, res.MaxQueueFrames, st)
 		})
 	case "rate":
 		rate := exp.MessageRate(cfg, *size, 20*sim.Millisecond, 100*sim.Millisecond)
-		emit(map[string]any{
+		emit(addTelemetry(map[string]any{
 			"workload": "rate", "strategy": st.String(), "delay_us": *delay,
 			"irq": cfg.IRQPolicy.String(), "size_bytes": *size,
 			"rate_msg_per_sec": rate,
-		}, func() {
+		}, nil), func() {
 			fmt.Printf("message rate %s: %s msg/s (%s, delay %dus, irq %s)\n",
 				units.FormatBytes(*size), units.FormatRate(rate), st, *delay, *irq)
 		})
@@ -189,6 +217,11 @@ func main() {
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -workload %q\n", *workload)
+		os.Exit(1)
+	}
+
+	if err := traceFlags.WriteOutputs(rec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }

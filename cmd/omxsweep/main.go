@@ -28,6 +28,7 @@ import (
 	"openmxsim/internal/cliflag"
 	"openmxsim/internal/serve"
 	"openmxsim/internal/sweep"
+	"openmxsim/internal/trace"
 )
 
 func main() {
@@ -58,6 +59,7 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	sched := cliflag.Sched()
+	traceFlags := cliflag.Trace()
 	flag.Parse()
 
 	if err := cliflag.ApplySched(*sched); err != nil {
@@ -96,12 +98,25 @@ func run() int {
 		IRQ: *irq, Queues: *queues, Nodes: *nodes, Bg: *bg,
 		Seeds: *seeds, Drop: *drops, Burst: *bursts,
 		Iters: *iters, Rate: *rate, QFrames: *qframes,
+		Sample: *traceFlags.Sample,
 	}
 	grid, err := spec.Grid()
 	if err != nil {
 		return fail(err)
 	}
 	grid.Par = *par
+
+	// A timeline (-trace) or merged series file (-sample-out) needs one
+	// recorder spanning every point; per-point sampling alone does not (each
+	// point records privately, keeping the worker pool parallel).
+	var rec *trace.Recorder
+	if *traceFlags.Trace != "" || *traceFlags.SampleOut != "" {
+		if rec, err = traceFlags.Build(); err != nil {
+			return fail(err)
+		}
+		grid.Trace = rec
+	}
+	tracing := grid.Trace != nil
 
 	// The crash-safe result cache omxserve uses, shared: a sweep run here
 	// pre-warms the server, a server run answers this CLI instantly. The
@@ -120,14 +135,21 @@ func run() int {
 
 	var results sweep.Results
 	var payload []byte
-	if p, ok := cache.Get(key); ok {
+	// Tracing bypasses the cache in both directions: a hit would skip the
+	// simulations the recorder exists to observe, and the run itself is
+	// serialized (single worker), so its wall time is not representative.
+	if p, ok := cache.Get(key); ok && !tracing {
 		if err := json.Unmarshal(p, &results); err != nil {
 			return fail(fmt.Errorf("cached entry %s undecodable: %w", key, err))
 		}
 		payload = p
 		fmt.Fprintf(os.Stderr, "[%d points from cache %s]\n", len(results), *cacheDir)
 	} else {
-		fmt.Fprintf(os.Stderr, "sweeping %d points on %d workers\n", grid.Size(), grid.Workers(*workers))
+		poolSize := grid.Workers(*workers)
+		if tracing {
+			poolSize = 1 // the shared recorder forces a single worker
+		}
+		fmt.Fprintf(os.Stderr, "sweeping %d points on %d workers\n", grid.Size(), poolSize)
 		start := time.Now()
 		if results, err = sweep.Run(grid, *workers); err != nil {
 			return fail(err)
@@ -137,8 +159,10 @@ func run() int {
 			return fail(err)
 		}
 		payload = buf.Bytes()
-		if cerr := cache.Put(key, payload); cerr != nil {
-			fmt.Fprintln(os.Stderr, cerr) // costs a future hit, not this run
+		if !tracing {
+			if cerr := cache.Put(key, payload); cerr != nil {
+				fmt.Fprintln(os.Stderr, cerr) // costs a future hit, not this run
+			}
 		}
 		fmt.Fprintf(os.Stderr, "[%d points in %.2fs wall]\n",
 			len(results), time.Since(start).Seconds())
@@ -157,6 +181,9 @@ func run() int {
 		return fail(err)
 	}
 	if err := emit(*csvOut, results.WriteCSV); err != nil {
+		return fail(err)
+	}
+	if err := traceFlags.WriteOutputs(rec); err != nil {
 		return fail(err)
 	}
 	if failed > 0 {

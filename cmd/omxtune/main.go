@@ -27,7 +27,10 @@ import (
 	"time"
 
 	"openmxsim/internal/cliflag"
+	"openmxsim/internal/nic"
 	"openmxsim/internal/serve"
+	"openmxsim/internal/sim"
+	"openmxsim/internal/sweep"
 	"openmxsim/internal/tune"
 	"openmxsim/internal/units"
 )
@@ -54,6 +57,7 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit the full outcome as JSON instead of text")
 	cacheDir := cliflag.CacheDir()
 	sched := cliflag.Sched()
+	traceFlags := cliflag.Trace()
 	flag.Parse()
 
 	if err := cliflag.ApplySched(*sched); err != nil {
@@ -130,6 +134,49 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "[%d/%d evaluations in %.2fs wall]\n",
 			out.Evals, out.Exhaustive, time.Since(start).Seconds())
+	}
+
+	// Telemetry (-trace / -sample) re-runs the knee configuration as a
+	// one-point sweep with the recorder attached: the search itself may be
+	// answered from cache, but the timeline always comes from a live,
+	// deterministic re-execution of the winning point.
+	rec, err := traceFlags.Build()
+	if err != nil {
+		return fail(err)
+	}
+	if rec != nil {
+		if _, ok := out.Tradeoff.Knee(); ok {
+			knee := out.Knee
+			st, err := cliflag.Strategy(knee.Strategy)
+			if err != nil {
+				return fail(err)
+			}
+			kg := sweep.Grid{
+				Strategies: []nic.Strategy{st},
+				Delays:     []sim.Time{sim.Time(math.Round(knee.DelayUS * 1000))},
+				Sizes:      []int{spec.Size},
+				BgStreams:  []int{spec.BgStreams},
+				Seeds:      []uint64{spec.Seed},
+				DropProb:   []float64{spec.DropProb},
+				Burst:      []float64{spec.Burst},
+				Iters:      spec.Iters,
+				Rate:       spec.Rate,
+				Par:        *par,
+				Sample:     rec.SampleEvery(),
+				Trace:      rec,
+			}
+			if spec.Nodes > 0 {
+				kg.Nodes = []int{spec.Nodes}
+			}
+			if _, err := sweep.Run(kg, 1); err != nil {
+				return fail(err)
+			}
+			if err := traceFlags.WriteOutputs(rec); err != nil {
+				return fail(err)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "[no valid knee to trace; telemetry outputs skipped]")
+		}
 	}
 
 	if *jsonOut {

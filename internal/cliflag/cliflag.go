@@ -9,15 +9,19 @@ package cliflag
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"openmxsim/internal/chaos"
 	"openmxsim/internal/fabric"
 	"openmxsim/internal/host"
 	"openmxsim/internal/nic"
 	"openmxsim/internal/sim"
 	"openmxsim/internal/sweep"
+	"openmxsim/internal/trace"
 )
 
 // Sched registers the canonical -sched flag on the default flag set.
@@ -223,6 +227,108 @@ func (ff *FaultFlags) Build() (*fabric.Fault, error) {
 	}, nil
 }
 
+// TraceFlags holds the telemetry flag group registered by Trace: the
+// Chrome trace-event timeline path, the virtual-time sampling interval,
+// and the sampled-series output path.
+type TraceFlags struct {
+	Trace     *string
+	Sample    *string
+	SampleOut *string
+}
+
+// Trace registers the canonical telemetry flags (-trace, -sample,
+// -sample-out) on the default flag set.
+func Trace() *TraceFlags {
+	return &TraceFlags{
+		Trace:     flag.String("trace", "", "write a Chrome/Perfetto trace-event timeline (JSON) to this path"),
+		Sample:    flag.String("sample", "", "virtual-time metric sampling interval as a Go duration, e.g. 200us ('' = off)"),
+		SampleOut: flag.String("sample-out", "", "write the sampled metric series to this path (.csv = CSV, else JSON)"),
+	}
+}
+
+// Build validates the parsed values and creates the recorder, or nil when
+// no telemetry was requested (the zero-overhead default).
+func (tf *TraceFlags) Build() (*trace.Recorder, error) {
+	every, err := SampleInterval(*tf.Sample)
+	if err != nil {
+		return nil, err
+	}
+	if *tf.SampleOut != "" && every == 0 {
+		return nil, fmt.Errorf("-sample-out needs -sample to record a series")
+	}
+	if *tf.Trace == "" && every == 0 {
+		return nil, nil
+	}
+	return trace.New(trace.Config{SampleEvery: every, Events: *tf.Trace != ""}), nil
+}
+
+// WriteOutputs writes the recorder's trace and series files as the parsed
+// flags request. A nil recorder (telemetry off) writes nothing.
+func (tf *TraceFlags) WriteOutputs(rec *trace.Recorder) error {
+	if rec == nil {
+		return nil
+	}
+	if path := *tf.Trace; path != "" {
+		if err := writeTo(path, rec.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if path := *tf.SampleOut; path != "" {
+		write := rec.WriteSeriesJSON
+		if strings.HasSuffix(path, ".csv") {
+			write = rec.WriteSeriesCSV
+		}
+		if err := writeTo(path, write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTo streams one exporter into a freshly created file.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Flaps parses a -flap spec: comma-separated "node:down[:up]" link-flap
+// windows with Go-duration offsets ("3:10ms:12ms"; omitted or zero up
+// means down forever). Empty means no flaps (nil).
+func Flaps(spec string) ([]chaos.LinkFlap, error) {
+	var out []chaos.LinkFlap
+	for _, s := range Split(spec) {
+		parts := strings.Split(s, ":")
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("bad flap %q, want node:down[:up]", s)
+		}
+		node, err := strconv.Atoi(parts[0])
+		if err != nil || node < 0 {
+			return nil, fmt.Errorf("bad flap node %q", parts[0])
+		}
+		down, err := time.ParseDuration(parts[1])
+		if err != nil || down < 0 {
+			return nil, fmt.Errorf("bad flap down time %q", parts[1])
+		}
+		lf := chaos.LinkFlap{Node: node, DownAt: sim.Time(down.Nanoseconds())}
+		if len(parts) == 3 {
+			up, err := time.ParseDuration(parts[2])
+			if err != nil || up < 0 {
+				return nil, fmt.Errorf("bad flap up time %q", parts[2])
+			}
+			lf.UpAt = sim.Time(up.Nanoseconds())
+		}
+		out = append(out, lf)
+	}
+	return out, nil
+}
+
 // GridSpec is the string-form sweep description shared by omxsweep's
 // flags and omxserve's JSON job submissions: every axis in exactly the
 // spelling the CLI accepts, so a job POSTed to the server and a sweep run
@@ -243,6 +349,9 @@ type GridSpec struct {
 	Iters      int    `json:"iters,omitempty"`
 	Rate       bool   `json:"rate,omitempty"`
 	QFrames    int    `json:"qframes,omitempty"`
+	// Sample is the virtual-time metric-sampling interval as a Go
+	// duration ("200us", "1ms"); empty disables per-point series.
+	Sample string `json:"sample,omitempty"`
 }
 
 // Grid parses every axis and assembles the sweep grid. Errors carry the
@@ -283,7 +392,26 @@ func (s GridSpec) Grid() (sweep.Grid, error) {
 	g.Iters = s.Iters
 	g.Rate = s.Rate
 	g.QFrames = s.QFrames
+	if g.Sample, err = SampleInterval(s.Sample); err != nil {
+		return g, err
+	}
 	return g, nil
+}
+
+// SampleInterval parses a metric-sampling interval: a Go duration string
+// ("200us", "1ms") mapped onto virtual time; empty means disabled (0).
+func SampleInterval(spec string) (sim.Time, error) {
+	if spec == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(spec)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample interval %q: %v", spec, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("bad sample interval %q: want > 0", spec)
+	}
+	return sim.Time(d.Nanoseconds()), nil
 }
 
 // Split breaks a comma-separated list, trimming blanks and dropping empty

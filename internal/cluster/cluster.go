@@ -15,6 +15,7 @@ import (
 	"openmxsim/internal/omx"
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 	"openmxsim/internal/wire"
 )
 
@@ -70,6 +71,13 @@ type Config struct {
 	// Fault compose: the scenario decides first, the static probabilities
 	// still apply to frames it lets through.
 	Scenario *chaos.Scenario
+	// Trace installs deterministic telemetry: per-node event timelines
+	// and virtual-time-sampled metric series recorded into the given
+	// recorder (see internal/trace). Each New claims the recorder's next
+	// run index; a recorder must only be shared by clusters built and run
+	// strictly sequentially. Nil (the default) records nothing and leaves
+	// every report bit-identical to pre-trace builds.
+	Trace *trace.Recorder
 }
 
 // Paper returns the paper's evaluation platform: two 8-core nodes, default
@@ -186,6 +194,10 @@ type Cluster struct {
 	// flapEdges counts scenario flap-edge marker events fired per node.
 	// Each slot is only written from the owning shard's engine.
 	flapEdges []uint64
+	// traceNodes holds one telemetry handle per node when Config.Trace is
+	// set (nil otherwise). Each handle is only written from the owning
+	// shard's engine — the same ownership discipline as flapEdges.
+	traceNodes []*trace.Node
 }
 
 // resolvePar maps the configured Parallelism to the effective shard count:
@@ -297,6 +309,22 @@ func New(cfg Config) *Cluster {
 		c.NICs = append(c.NICs, n)
 		c.Stacks = append(c.Stacks, s)
 	}
+	if cfg.Trace != nil {
+		c.traceNodes = cfg.Trace.Start(cfg.Nodes)
+		every := cfg.Trace.SampleEvery()
+		for i := 0; i < cfg.Nodes; i++ {
+			c.NICs[i].SetTrace(c.traceNodes[i])
+			c.Stacks[i].SetTrace(c.traceNodes[i])
+			if cfg.Topology.Kind == fabric.TopologyOutputQueued {
+				// The node's egress port is bound to the node's shard, so
+				// its drop events share the handle's single-writer shard.
+				sw.BindTrace(wire.NodeMAC(i), c.traceNodes[i])
+			}
+			if every > 0 {
+				c.installSampler(i, every)
+			}
+		}
+	}
 	// Per-port bandwidth overrides apply after the NICs registered their
 	// ports (map order is irrelevant: ports are independent).
 	//omxlint:allow maprange: ports are independent, each override touches only its own port
@@ -315,11 +343,84 @@ func New(cfg Config) *Cluster {
 		for node := 0; node < cfg.Nodes; node++ {
 			n := node
 			for _, at := range cfg.Scenario.Edges(node) {
-				c.ScheduleOn(n, at, func() { c.flapEdges[n]++ })
+				c.ScheduleOn(n, at, func() {
+					c.flapEdges[n]++
+					c.traceNode(n).Event(c.EngineFor(n).Now(), trace.EvFlapEdge, int64(c.flapEdges[n]))
+				})
 			}
 		}
 	}
 	return c
+}
+
+// traceNode returns node n's telemetry handle (nil when tracing is off;
+// every trace.Node method is a nil-receiver no-op).
+func (c *Cluster) traceNode(n int) *trace.Node {
+	if c.traceNodes == nil {
+		return nil
+	}
+	return c.traceNodes[n]
+}
+
+// installSampler plants node's metric sampler: a self-re-arming tick on
+// the node's own shard engine, so every read below touches only state the
+// tick's shard owns. The tick stops re-arming after one fully quiet
+// interval (no packet or interrupt activity on the node), so a cluster
+// that would otherwise drain still drains and the liveness watchdog keeps
+// seeing real deadlocks; window-driven harnesses (RunUntil) simply leave
+// the final pending tick unexecuted.
+func (c *Cluster) installSampler(node int, every sim.Time) {
+	eng := c.EngineFor(node)
+	// ^uint64(0) cannot equal a real activity count, so the first tick
+	// always re-arms and an idle node still contributes one sample.
+	last := ^uint64(0)
+	var tick func()
+	tick = func() {
+		now := eng.Now()
+		c.sampleNode(now, node)
+		act := c.nodeActivity(node)
+		if act == last {
+			return
+		}
+		last = act
+		eng.Schedule(now+every, tick)
+	}
+	eng.Schedule(every, tick)
+}
+
+// nodeActivity fingerprints a node's traffic counters; an unchanged value
+// across a whole sampling interval means the node has gone quiet.
+func (c *Cluster) nodeActivity(node int) uint64 {
+	n, s := c.NICs[node], c.Stacks[node]
+	return n.Stats.PacketsReceived + n.Stats.PacketsSent + n.Stats.Interrupts +
+		s.Stats.PacketsIn + s.Stats.PacketsOut
+}
+
+// sampleNode records one metric sample for node at virtual time at. All
+// reads are confined to the node's own NIC, stack, and egress port — state
+// owned by the sampler's shard — and are read-only, so sampling never
+// changes what the simulation reports.
+func (c *Cluster) sampleNode(at sim.Time, node int) {
+	n, s := c.NICs[node], c.Stacks[node]
+	smp := trace.Sample{
+		At:              at,
+		Interrupts:      n.Stats.Interrupts,
+		CoalesceDelayNS: int64(n.CurrentDelay()),
+		PacketsIn:       s.Stats.PacketsIn,
+		PacketsOut:      s.Stats.PacketsOut,
+		RingDrops:       n.Stats.RingDrops,
+		Retransmits:     s.Stats.Retransmits,
+		Backoffs:        s.Stats.Backoffs,
+		GiveUps:         s.Stats.GiveUps,
+		PullRetries:     s.Stats.PullBlockRetries,
+		FeedbackSteps:   n.Stats.FeedbackSteps,
+		FeedbackClamps:  n.Stats.FeedbackClamps,
+	}
+	if c.Cfg.Topology.Kind == fabric.TopologyOutputQueued {
+		smp.QueueFrames = c.Switch.QueueLen(n.MAC())
+		smp.PortDrops = c.Switch.PortStats(n.MAC()).Drops
+	}
+	c.traceNodes[node].Sample(smp)
 }
 
 // FlapEdges returns how many scenario flap-edge markers have fired so

@@ -49,6 +49,9 @@ func Incast(opts Options) *Report {
 			cfg.Seed = opts.Seed
 			cfg.Parallelism = opts.Par
 			cfg.Strategy = st.strategy
+			// Clusters are built strictly sequentially here, so one shared
+			// recorder can observe the whole experiment run-by-run.
+			cfg.Trace = opts.Trace
 			cfg.Topology = fabric.Topology{
 				Kind:              fabric.TopologyOutputQueued,
 				EgressQueueFrames: 64,

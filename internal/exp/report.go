@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 )
 
 // Options control experiment scale.
@@ -24,6 +25,10 @@ type Options struct {
 	// engines (cluster.Config.Parallelism). Reports are bit-identical at
 	// any value; only wall-clock time changes. Zero means 1 (serial).
 	Par int
+	// Trace, when non-nil, records event timelines and sampled metric
+	// series from the experiments that support telemetry (incast,
+	// resilience-flap). Reports stay bit-identical with it attached.
+	Trace *trace.Recorder
 }
 
 // DefaultOptions returns the full-scale configuration.

@@ -182,6 +182,9 @@ func ResilienceFlap(opts Options) *Report {
 		cfg := cluster.Paper()
 		cfg.Seed = opts.Seed
 		cfg.Parallelism = opts.Par
+		// Sequential cluster construction: the shared recorder sees one run
+		// per flap case, flap edges included.
+		cfg.Trace = opts.Trace
 		cfg.Scenario = &chaos.Scenario{
 			Flaps: []chaos.LinkFlap{{Node: 1, DownAt: down, UpAt: tc.upAt}},
 			Seed:  opts.Seed,

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
+)
+
+// tracedRunners are the registry experiments wired for telemetry: both
+// build every cluster strictly sequentially, so one shared recorder can
+// observe the whole experiment.
+var tracedRunners = []struct {
+	id  string
+	run Runner
+}{
+	{"incast", Incast},
+	{"resilience-flap", ResilienceFlap},
+}
+
+// TestReportsBitIdenticalTraceOnOff is the observer-effect gate: attaching
+// a recorder (events + sampling) must not change a single byte of any
+// report, at the seeds the registry experiments actually ship with.
+func TestReportsBitIdenticalTraceOnOff(t *testing.T) {
+	for _, tr := range tracedRunners {
+		for _, seed := range []uint64{1, 7} {
+			off := tr.run(Options{Seed: seed, Quick: true})
+			rec := trace.New(trace.Config{Events: true, SampleEvery: 200 * sim.Microsecond})
+			on := tr.run(Options{Seed: seed, Quick: true, Trace: rec})
+			if !reflect.DeepEqual(off, on) {
+				t.Errorf("%s seed %d: report changed when tracing was enabled:\noff: %+v\non:  %+v",
+					tr.id, seed, off, on)
+			}
+			if rec.Runs() == 0 {
+				t.Errorf("%s seed %d: recorder attached but no runs recorded", tr.id, seed)
+			}
+		}
+	}
+}
+
+// TestTraceBytesBitIdenticalAcrossPar is the shard-layout half of the
+// determinism contract: the exported timeline and series bytes must be
+// identical between the serial reference engine and an 8-way sharded run.
+func TestTraceBytesBitIdenticalAcrossPar(t *testing.T) {
+	for _, tr := range tracedRunners {
+		capture := func(par int) (rep *Report, traceB, seriesB []byte) {
+			rec := trace.New(trace.Config{Events: true, SampleEvery: 200 * sim.Microsecond})
+			rep = tr.run(Options{Seed: 1, Quick: true, Par: par, Trace: rec})
+			var tb, sb bytes.Buffer
+			if err := rec.WriteChromeTrace(&tb); err != nil {
+				t.Fatalf("%s par %d: WriteChromeTrace: %v", tr.id, par, err)
+			}
+			if err := rec.WriteSeriesCSV(&sb); err != nil {
+				t.Fatalf("%s par %d: WriteSeriesCSV: %v", tr.id, par, err)
+			}
+			return rep, tb.Bytes(), sb.Bytes()
+		}
+		rep1, trace1, series1 := capture(1)
+		rep8, trace8, series8 := capture(8)
+		if !reflect.DeepEqual(rep1, rep8) {
+			t.Errorf("%s: report differs between par 1 and par 8", tr.id)
+		}
+		if !bytes.Equal(trace1, trace8) {
+			t.Errorf("%s: trace bytes differ between par 1 and par 8 (%d vs %d bytes)",
+				tr.id, len(trace1), len(trace8))
+		}
+		if !bytes.Equal(series1, series8) {
+			t.Errorf("%s: series bytes differ between par 1 and par 8 (%d vs %d bytes)",
+				tr.id, len(series1), len(series8))
+		}
+		if len(series1) == 0 {
+			t.Errorf("%s: sampling produced no series", tr.id)
+		}
+	}
+}

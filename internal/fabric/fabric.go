@@ -71,6 +71,7 @@ import (
 
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 	"openmxsim/internal/wire"
 )
 
@@ -263,18 +264,18 @@ func (s *Switch) hook() Hook {
 type PortStats struct {
 	// FramesDelivered and BytesDelivered count frames handed to the port's
 	// receiver.
-	FramesDelivered uint64
-	BytesDelivered  uint64
+	FramesDelivered uint64 `json:"frames_delivered"`
+	BytesDelivered  uint64 `json:"bytes_delivered"`
 	// Enqueued counts frames admitted to the egress queue.
-	Enqueued uint64
+	Enqueued uint64 `json:"enqueued"`
 	// Drops counts frames rejected by the full egress queue (drop-tail).
-	Drops uint64
+	Drops uint64 `json:"drops"`
 	// MaxQueueFrames is the queue-occupancy high-water mark, in frames.
-	MaxQueueFrames int
+	MaxQueueFrames int `json:"max_queue_frames"`
 	// QueueWait accumulates the time frames spent waiting in the egress
 	// queue before their transmission started; QueueWait / Enqueued is the
 	// mean per-frame queueing latency.
-	QueueWait sim.Time
+	QueueWait sim.Time `json:"queue_wait_ns"`
 }
 
 // Switch is the central store-and-forward element. Ports are registered by
@@ -359,6 +360,10 @@ type port struct {
 	q      []qent
 	qhead  int
 	txBusy bool
+
+	// tr is the node's telemetry handle for egress-queue events (nil =
+	// tracing disabled); it is owned by the same shard as the port.
+	tr *trace.Node
 
 	stats PortStats
 }
@@ -493,6 +498,17 @@ func (s *Switch) PortStats(mac wire.MAC) PortStats {
 		panic(fmt.Sprintf("fabric: unknown port %s", mac))
 	}
 	return p.stats
+}
+
+// BindTrace attaches a telemetry handle to mac's port: egress-queue drops
+// on that port are then emitted to the handle's timeline. The handle must
+// belong to the same node (shard) as the port.
+func (s *Switch) BindTrace(mac wire.MAC, h *trace.Node) {
+	p, ok := s.ports[mac]
+	if !ok {
+		panic(fmt.Sprintf("fabric: unknown port %s", mac))
+	}
+	p.tr = h
 }
 
 // QueueLen returns the current egress-queue depth of mac's port (always 0
@@ -673,6 +689,7 @@ func (s *Switch) enqueueNow(d *delivery) {
 	p.putDelivery(d)
 	if p.qlen() >= s.qcap {
 		p.stats.Drops++
+		p.tr.Event(p.eng.Now(), trace.EvPortDrop, int64(p.stats.Drops))
 		f.Release()
 		return
 	}

@@ -46,6 +46,7 @@ var simVisiblePackages = map[string]bool{
 	"cluster": true,
 	"mpi":     true,
 	"wire":    true,
+	"trace":   true,
 }
 
 // auditedConcurrency are the sim-visible packages allowed to use

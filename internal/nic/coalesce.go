@@ -7,6 +7,7 @@ import (
 	"openmxsim/internal/host"
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 )
 
 // Strategy enumerates the interrupt coalescing strategies under study.
@@ -78,6 +79,9 @@ type coalescer interface {
 	// onBacklog runs when a poll cycle ends with packets still queued
 	// (e.g. they arrived after the final ring check).
 	onBacklog()
+	// currentDelay reports the instantaneous coalescing delay (0 when
+	// coalescing is disabled) — a telemetry gauge, never a control input.
+	currentDelay() sim.Time
 }
 
 func newCoalescer(cfg Config, q *rxQueue) coalescer {
@@ -168,6 +172,8 @@ func (c *disabledCoalescer) onBacklog() {
 	c.q.nic.requestInterrupt(c.q, causeImmediate)
 }
 
+func (c *disabledCoalescer) currentDelay() sim.Time { return 0 }
+
 // timeoutCoalescer: classic delay (+ optional max-frames) coalescing. The
 // timer is armed by the first completion after the previous interrupt, so an
 // isolated packet waits the full delay — the latency cost the paper
@@ -206,6 +212,10 @@ func (c *timeoutCoalescer) onDMAComplete(d *RxDesc, pending int) {
 }
 
 func (c *timeoutCoalescer) onBacklog() { c.arm() }
+
+// currentDelay is promoted through embedding to every timeout-derived
+// strategy, so the adaptive and feedback delays report their live value.
+func (c *timeoutCoalescer) currentDelay() sim.Time { return c.delay }
 
 //omxlint:hotpath
 func (c *timeoutCoalescer) arm() {
@@ -533,7 +543,11 @@ func (c *feedbackCoalescer) walk(d sim.Time) {
 	if next != c.delay {
 		c.delay = next
 		c.q.nic.Stats.FeedbackSteps++
+		c.q.nic.tr.Event(c.q.nic.eng.Now(), trace.EvCoalesceWalk, int64(next))
+		return
 	}
+	c.q.nic.Stats.FeedbackClamps++
+	c.q.nic.tr.Event(c.q.nic.eng.Now(), trace.EvFeedbackClamp, int64(next))
 }
 
 // Delay exposes the current feedback delay for tests and diagnostics.

@@ -12,6 +12,7 @@ import (
 	"openmxsim/internal/host"
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 	"openmxsim/internal/wire"
 )
 
@@ -61,6 +62,9 @@ type Stats struct {
 	// FeedbackSteps counts effective delay adjustments made by the
 	// feedback strategy's controller (clamped walks do not count).
 	FeedbackSteps uint64
+	// FeedbackClamps counts controller walks absorbed by the [min,max]
+	// delay clamp — the controller wanted to move but could not.
+	FeedbackClamps uint64
 	// PollCycles counts NAPI poll sessions; PacketsPolled their packets.
 	PollCycles    uint64
 	PacketsPolled uint64
@@ -94,6 +98,8 @@ type NIC struct {
 	submitDMAFn func(any)
 	dmaDoneFn   func(any)
 	txWireFn    func(any)
+
+	tr *trace.Node
 
 	Stats Stats
 }
@@ -179,6 +185,13 @@ func (n *NIC) putDesc(d *RxDesc) {
 // SetDriver binds the host-side packet consumer.
 func (n *NIC) SetDriver(d Driver) { n.drv = d }
 
+// SetTrace binds the node's telemetry handle (nil = tracing disabled).
+func (n *NIC) SetTrace(h *trace.Node) { n.tr = h }
+
+// CurrentDelay reports the instantaneous coalescing delay of queue 0 —
+// the gauge the feedback strategy walks and samplers chart over time.
+func (n *NIC) CurrentDelay() sim.Time { return n.queues[0].coal.currentDelay() }
+
 // MAC returns the interface address.
 func (n *NIC) MAC() wire.MAC { return n.mac }
 
@@ -204,6 +217,7 @@ func (n *NIC) ReceiveFrame(f *wire.Frame) {
 	now := n.eng.Now()
 	if n.Backlog() >= n.p.NIC.RxRingEntries {
 		n.Stats.RingDrops++
+		n.tr.Event(now, trace.EvRingDrop, int64(n.Stats.RingDrops))
 		f.Release()
 		return
 	}
@@ -286,6 +300,7 @@ func (n *NIC) requestInterrupt(q *rxQueue, cause interruptCause) {
 	case causeMarked:
 		n.Stats.MarkedImmediate++
 	}
+	n.tr.Event(n.eng.Now(), trace.EvIRQ, int64(cause))
 	// One interrupt is outstanding per queue while masked, so the target
 	// core parks on the queue until the poll cycle ends.
 	q.pollCore = n.hst.IRQTarget(q.idx)

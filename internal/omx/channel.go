@@ -5,6 +5,7 @@ import (
 
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 	"openmxsim/internal/wire"
 )
 
@@ -235,7 +236,9 @@ func (c *channel) giveUp(err error) {
 	if c.failed != nil {
 		return
 	}
-	c.stack().Stats.GiveUps++
+	s := c.stack()
+	s.Stats.GiveUps++
+	s.tr.Event(s.eng.Now(), trace.EvGiveUp, int64(s.Stats.GiveUps))
 	c.teardown(err)
 
 	// Sender-side large messages toward this peer, in msgID order so the

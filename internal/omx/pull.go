@@ -5,6 +5,7 @@ import (
 
 	"openmxsim/internal/host"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 	"openmxsim/internal/wire"
 )
 
@@ -153,6 +154,7 @@ func (e *Endpoint) giveUpPull(ps *pullState) {
 	ps.timers = nil
 	delete(e.pulls, pullKey{src: ps.src, msgID: ps.msgID})
 	e.stack.Stats.GiveUps++
+	e.stack.tr.Event(e.stack.eng.Now(), trace.EvGiveUp, int64(e.stack.Stats.GiveUps))
 	ps.rh.fail(ErrGiveUp)
 }
 

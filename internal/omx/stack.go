@@ -15,6 +15,7 @@ import (
 	"openmxsim/internal/nic"
 	"openmxsim/internal/params"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 	"openmxsim/internal/wire"
 )
 
@@ -106,6 +107,8 @@ type Stack struct {
 	sendFrameFn  func(any)
 	pacedFn      func(any)
 
+	tr *trace.Node
+
 	Stats Stats
 }
 
@@ -172,6 +175,9 @@ func NewStack(eng *sim.Engine, p *params.Params, hst *host.Host, n *nic.NIC, rng
 // SetFramePool replaces the stack's frame pool (cluster construction shares
 // one pool across all nodes so frames recycle wherever they are released).
 func (s *Stack) SetFramePool(p *wire.Pool) { s.pool = p }
+
+// SetTrace binds the node's telemetry handle (nil = tracing disabled).
+func (s *Stack) SetTrace(h *trace.Node) { s.tr = h }
 
 // newFrame builds a pooled frame; the caller owns its single reference.
 func (s *Stack) newFrame(src, dst wire.MAC, h wire.Header, payload []byte, payloadLen int) *wire.Frame {

@@ -113,6 +113,7 @@ type Server struct {
 
 	submittedTotal, shedQueueTotal, shedClientTotal atomic.Uint64
 	retriesTotal, panicsTotal, cacheHitJobs         atomic.Uint64
+	sampledPoints, seriesSamples                    atomic.Uint64
 }
 
 // New builds the server and starts its executors.
@@ -448,6 +449,10 @@ func (s *Server) resetPoints(j *Job) {
 }
 
 func (s *Server) appendPoint(j *Job, r sweep.Result) {
+	if n := len(r.Series); n > 0 {
+		s.sampledPoints.Add(1)
+		s.seriesSamples.Add(uint64(n))
+	}
 	s.mu.Lock()
 	j.points = append(j.points, r)
 	s.bumpLocked(j)
@@ -678,8 +683,13 @@ type Metrics struct {
 	Retries       uint64           `json:"retries"`
 	Panics        uint64           `json:"panics"`
 	CacheHitJobs  uint64           `json:"cache_hit_jobs"`
-	Draining      bool             `json:"draining"`
-	Cache         CacheStats       `json:"cache"`
+	// SampledPoints counts streamed results that carried a sampled metric
+	// series; SeriesSamples totals the samples across them. Both move only
+	// when clients submit grids with "sample" set.
+	SampledPoints uint64     `json:"sampled_points"`
+	SeriesSamples uint64     `json:"series_samples"`
+	Draining      bool       `json:"draining"`
+	Cache         CacheStats `json:"cache"`
 }
 
 // MetricsSnapshot returns the current counters (the /metricz body).
@@ -693,6 +703,8 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Retries:       s.retriesTotal.Load(),
 		Panics:        s.panicsTotal.Load(),
 		CacheHitJobs:  s.cacheHitJobs.Load(),
+		SampledPoints: s.sampledPoints.Load(),
+		SeriesSamples: s.seriesSamples.Load(),
 		Cache:         s.cache.Stats(),
 	}
 	s.mu.Lock()

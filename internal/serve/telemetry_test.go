@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestSampledSeriesRideTheStream is the live-telemetry satellite end to
+// end: a sweep submitted with a sampling interval streams per-point
+// results whose series arrive on the same NDJSON lines, and /metricz
+// counts the sampled points and their samples.
+func TestSampledSeriesRideTheStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	g := SweepRequest{
+		Strategies: "timeout",
+		Delays:     "15",
+		Sizes:      "128",
+		Iters:      5,
+		Sample:     "200us",
+	}
+	st := submit(t, ts, "/v1/sweep", "", g, http.StatusAccepted)
+	waitTerminal(t, ts, st.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatalf("GET stream: %v", err)
+	}
+	defer resp.Body.Close()
+	points, sampled, samples := 0, 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Type   string `json:"type"`
+			Result *struct {
+				Series []json.RawMessage `json:"series"`
+			} `json:"result"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Type != "point" || ev.Result == nil {
+			continue
+		}
+		points++
+		if n := len(ev.Result.Series); n > 0 {
+			sampled++
+			samples += n
+		}
+	}
+	if points == 0 || sampled != points {
+		t.Fatalf("streamed %d points, %d with series; want every point sampled", points, sampled)
+	}
+
+	m := s.MetricsSnapshot()
+	if m.SampledPoints != uint64(sampled) || m.SeriesSamples != uint64(samples) {
+		t.Errorf("metrics sampled_points=%d series_samples=%d, stream saw %d/%d",
+			m.SampledPoints, m.SeriesSamples, sampled, samples)
+	}
+}
+
+// TestUnsampledSweepMovesNoTelemetryCounters pins the zero-cost default:
+// without a sample interval the new /metricz counters stay at zero.
+func TestUnsampledSweepMovesNoTelemetryCounters(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	st := submit(t, ts, "/v1/sweep", "", testGrid, http.StatusAccepted)
+	waitTerminal(t, ts, st.ID)
+	m := s.MetricsSnapshot()
+	if m.SampledPoints != 0 || m.SeriesSamples != 0 {
+		t.Errorf("unsampled sweep moved telemetry counters: %+v", m)
+	}
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"openmxsim/internal/cluster"
+	"openmxsim/internal/fabric"
 	"openmxsim/internal/mpi"
 	"openmxsim/internal/omx"
 	"openmxsim/internal/sim"
@@ -55,8 +56,16 @@ func RunPingPongLoaded(cfg cluster.Config, sizes []int, iters int, bg Background
 // RunPingPongLoadedStats is RunPingPongLoaded plus the cluster's summed
 // protocol robustness counters.
 func RunPingPongLoadedStats(cfg cluster.Config, sizes []int, iters int, bg Background) (map[int]sim.Time, uint64, int, ProtoCounters, error) {
+	out, err := RunPingPongLoadedOutcome(cfg, sizes, iters, bg)
+	return out.Latency, out.Interrupts, out.Messages, out.Proto, err
+}
+
+// RunPingPongLoadedOutcome is the full-outcome form of
+// RunPingPongLoadedStats, additionally snapshotting per-port switch
+// counters on queued topologies.
+func RunPingPongLoadedOutcome(cfg cluster.Config, sizes []int, iters int, bg Background) (PingPongOutcome, error) {
 	if bg.Streams <= 0 {
-		return RunPingPongStats(cfg, sizes, iters)
+		return RunPingPongOutcome(cfg, sizes, iters)
 	}
 	bg = bg.normalized()
 	if min := 2 + bg.Streams; cfg.Nodes < min {
@@ -132,7 +141,13 @@ func RunPingPongLoadedStats(cfg cluster.Config, sizes []int, iters int, bg Backg
 	// in-flight bulk transfers drain and the engine can empty.
 	res, msgs, err := runPingPong(w, sizes, iters, func() { stop = true })
 	intr := cl.NICs[0].Stats.Interrupts + cl.NICs[1].Stats.Interrupts
-	return res, intr, msgs, protoCounters(cl), err
+	return PingPongOutcome{
+		Latency:    res,
+		Interrupts: intr,
+		Messages:   msgs,
+		Proto:      protoCounters(cl),
+		Ports:      portSnapshots(cl),
+	}, err
 }
 
 // IncastSpec describes an N-to-1 fan-in measurement: Senders nodes blast
@@ -176,6 +191,9 @@ type IncastResult struct {
 	QueueWaitNS float64
 	// Proto sums the protocol robustness counters over all nodes.
 	Proto ProtoCounters
+	// Ports holds every node's egress-port statistics when the topology is
+	// output-queued (nil under the direct topology, which has no ports).
+	Ports []fabric.PortStats
 }
 
 // RunIncast builds a cluster from the spec and runs the fan-in measurement.
@@ -243,5 +261,6 @@ func RunIncast(spec IncastSpec) IncastResult {
 		MaxQueueFrames: port.MaxQueueFrames,
 		QueueWaitNS:    wait,
 		Proto:          protoCounters(cl),
+		Ports:          portSnapshots(cl),
 	}
 }

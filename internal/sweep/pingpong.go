@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"openmxsim/internal/cluster"
+	"openmxsim/internal/fabric"
 	"openmxsim/internal/mpi"
 	"openmxsim/internal/proc"
 	"openmxsim/internal/sim"
@@ -20,6 +21,9 @@ type ProtoCounters struct {
 	// FeedbackSteps sums the closed-loop coalescer's delay adjustments
 	// over every NIC — always 0 unless a point runs StrategyFeedback.
 	FeedbackSteps uint64
+	// FeedbackClamps sums the controller walks absorbed by the [min,max]
+	// delay clamp — the controller hit a wall and could not move.
+	FeedbackClamps uint64
 }
 
 func protoCounters(cl *cluster.Cluster) ProtoCounters {
@@ -32,8 +36,35 @@ func protoCounters(cl *cluster.Cluster) ProtoCounters {
 	}
 	for _, n := range cl.NICs {
 		pc.FeedbackSteps += n.Stats.FeedbackSteps
+		pc.FeedbackClamps += n.Stats.FeedbackClamps
 	}
 	return pc
+}
+
+// PingPongOutcome bundles everything one ping-pong measurement produces:
+// the per-size latency map, the interrupt/message totals, the summed
+// protocol counters, and — under the output-queued topology — a per-node
+// snapshot of the switch's egress-port counters (nil in the direct model,
+// whose ideal ports have no queue to report).
+type PingPongOutcome struct {
+	Latency    map[int]sim.Time
+	Interrupts uint64
+	Messages   int
+	Proto      ProtoCounters
+	Ports      []fabric.PortStats
+}
+
+// portSnapshots captures every node's egress-port counters for queued
+// topologies; the direct model reports nil.
+func portSnapshots(cl *cluster.Cluster) []fabric.PortStats {
+	if cl.Cfg.Topology.Kind != fabric.TopologyOutputQueued {
+		return nil
+	}
+	ps := make([]fabric.PortStats, cl.Cfg.Nodes)
+	for i := range ps {
+		ps[i] = cl.PortStats(i)
+	}
+	return ps
 }
 
 // RunPingPong is the canonical ping-pong harness (the experiment runners
@@ -48,6 +79,13 @@ func RunPingPong(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, 
 // RunPingPongStats is RunPingPong plus the cluster's summed protocol
 // robustness counters (the resilience experiments report them).
 func RunPingPongStats(cfg cluster.Config, sizes []int, iters int) (map[int]sim.Time, uint64, int, ProtoCounters, error) {
+	out, err := RunPingPongOutcome(cfg, sizes, iters)
+	return out.Latency, out.Interrupts, out.Messages, out.Proto, err
+}
+
+// RunPingPongOutcome is the full-outcome form of RunPingPongStats,
+// additionally snapshotting per-port switch counters on queued topologies.
+func RunPingPongOutcome(cfg cluster.Config, sizes []int, iters int) (PingPongOutcome, error) {
 	// The two ranks share the result map and panic slot in runPingPong, so
 	// the harness stays on the single-engine reference at any requested
 	// parallelism (a 2-node ping-pong has nothing to shard anyway).
@@ -55,7 +93,13 @@ func RunPingPongStats(cfg cluster.Config, sizes []int, iters int) (map[int]sim.T
 	cl := cluster.New(cfg)
 	w := mpi.NewWorld(cl, cl.OpenEndpoints(1))
 	res, msgs, err := runPingPong(w, sizes, iters, nil)
-	return res, cl.Interrupts(), msgs, protoCounters(cl), err
+	return PingPongOutcome{
+		Latency:    res,
+		Interrupts: cl.Interrupts(),
+		Messages:   msgs,
+		Proto:      protoCounters(cl),
+		Ports:      portSnapshots(cl),
+	}, err
 }
 
 // runPingPong drives the two-rank measurement body on a prepared world:

@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"openmxsim/internal/trace"
 )
 
 // Result is the measurement at one grid point. Fields use flat,
@@ -50,6 +52,12 @@ type Result struct {
 	// over the point (0 unless the point runs the feedback strategy) —
 	// the telemetry the service streams alongside each result.
 	FeedbackSteps uint64 `json:"feedback_steps"`
+	// FeedbackClamps counts controller walks absorbed by the delay clamp
+	// (the controller hit its [min,max] wall and could not move).
+	FeedbackClamps uint64 `json:"feedback_clamps"`
+	// Series is the point's virtual-time metric series, present only when
+	// Grid.Sample is set (JSON only; the flat CSV schema stays scalar).
+	Series []trace.Sample `json:"series,omitempty"`
 	// Err is set when the point failed instead of measuring.
 	Err string `json:"error,omitempty"`
 }
@@ -81,7 +89,7 @@ var csvHeader = []string{
 	"sleep_disabled", "nodes", "bg_streams", "drop_prob", "burst",
 	"latency_ns", "interrupts", "intr_per_msg", "rate_msg_per_sec",
 	"rate_intr_per_sec", "retransmits", "backoffs", "give_ups",
-	"pull_retries", "feedback_steps", "error",
+	"pull_retries", "feedback_steps", "feedback_clamps", "error",
 }
 
 // WriteCSV writes the results as comma-separated values with a header row.
@@ -106,6 +114,7 @@ func (rs Results) WriteCSV(w io.Writer) error {
 			strconv.FormatUint(r.GiveUps, 10),
 			strconv.FormatUint(r.PullRetries, 10),
 			strconv.FormatUint(r.FeedbackSteps, 10),
+			strconv.FormatUint(r.FeedbackClamps, 10),
 			r.Err,
 		}
 		if err := cw.Write(cells); err != nil {

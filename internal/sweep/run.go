@@ -9,6 +9,7 @@ import (
 
 	"openmxsim/internal/fabric"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 )
 
 // Observer receives each point's result the moment its simulation
@@ -65,6 +66,12 @@ func RunContext(ctx context.Context, g Grid, workers int, obs Observer) (Results
 		}
 	}
 	workers = workerBudget(workers, g.Par, len(pts))
+	if g.Trace != nil {
+		// A shared event recorder claims one run index per point; a single
+		// worker keeps that claim order equal to grid order, so trace
+		// bytes are deterministic (results were order-independent anyway).
+		workers = 1
+	}
 
 	results := make(Results, len(pts))
 	// The jobs channel is buffered to the full point count and filled
@@ -213,21 +220,44 @@ func runPoint(g Grid, p Point, scratch *pointScratch) (res Result) {
 		}
 	}()
 
+	// Telemetry: a shared event recorder (g.Trace) records every cluster
+	// the point builds; a sampling-only grid gives each point its own
+	// recorder, so concurrent workers never share one.
+	rec := g.Trace
+	runIdx := 0
+	if rec != nil {
+		runIdx = rec.Runs()
+	} else if g.Sample > 0 {
+		rec = trace.New(trace.Config{SampleEvery: g.Sample})
+	}
+	cfg.Trace = rec
+
 	scratch.sizes[0] = p.Size
-	lat, intr, msgs, pc, err := RunPingPongLoadedStats(cfg, scratch.sizes[:], g.Iters, Background{Streams: p.BgStreams})
-	res.Retransmits = pc.Retransmits
-	res.Backoffs = pc.Backoffs
-	res.GiveUps = pc.GiveUps
-	res.PullRetries = pc.PullRetries
-	res.FeedbackSteps = pc.FeedbackSteps
+	out, err := RunPingPongLoadedOutcome(cfg, scratch.sizes[:], g.Iters, Background{Streams: p.BgStreams})
+	res.Retransmits = out.Proto.Retransmits
+	res.Backoffs = out.Proto.Backoffs
+	res.GiveUps = out.Proto.GiveUps
+	res.PullRetries = out.Proto.PullRetries
+	res.FeedbackSteps = out.Proto.FeedbackSteps
+	res.FeedbackClamps = out.Proto.FeedbackClamps
+	if g.Sample > 0 {
+		// Rezero the run index: a point's series is self-contained, and
+		// the payload must not depend on whether a shared event recorder
+		// (whose run counter spans the whole sweep) happened to be on.
+		series := rec.RunSamples(runIdx)
+		for i := range series {
+			series[i].Run = 0
+		}
+		res.Series = series
+	}
 	if err != nil {
 		res.Err = err.Error()
 		return res
 	}
-	res.LatencyNS = int64(lat[p.Size])
-	res.Interrupts = intr
-	if msgs > 0 {
-		res.IntrPerMsg = float64(intr) / float64(msgs)
+	res.LatencyNS = int64(out.Latency[p.Size])
+	res.Interrupts = out.Interrupts
+	if msgs := out.Messages; msgs > 0 {
+		res.IntrPerMsg = float64(out.Interrupts) / float64(msgs)
 	}
 
 	if g.Rate {

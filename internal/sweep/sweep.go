@@ -18,6 +18,7 @@ import (
 	"openmxsim/internal/host"
 	"openmxsim/internal/nic"
 	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
 )
 
 // Grid describes a cartesian parameter space. Empty axes default to the
@@ -86,6 +87,18 @@ type Grid struct {
 	// topology has zero wire lookahead, so sharded clusters fall back to
 	// the serial reference engine.
 	QFrames int
+	// Sample, when positive, records a virtual-time metric series at this
+	// interval during every point's latency measurement and attaches it as
+	// Result.Series. Part of the canonical grid: sampling changes the
+	// result payload, so sampled and unsampled sweeps must not share a
+	// cache key.
+	Sample sim.Time
+	// Trace, when non-nil, additionally records every point's discrete
+	// event timeline into this recorder (one run per point, in
+	// grid-expansion order). An execution knob, not part of the payload:
+	// Run forces a single worker so run indices follow point order, and
+	// callers writing trace files must bypass result caches themselves.
+	Trace *trace.Recorder `json:"-"`
 }
 
 // Point is one fully-specified configuration of the grid.
@@ -196,6 +209,7 @@ func (g Grid) normalized() Grid {
 func (g Grid) Canonical() Grid {
 	g = g.normalized()
 	g.Par = 0
+	g.Trace = nil
 	return g
 }
 

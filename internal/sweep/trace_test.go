@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"openmxsim/internal/sim"
+	"openmxsim/internal/trace"
+)
+
+func sampledGrid() Grid {
+	return Grid{
+		Strategies: nil, // normalized() fills defaults
+		Delays:     []sim.Time{15 * sim.Microsecond},
+		Sizes:      []int{128},
+		Iters:      5,
+		Sample:     200 * sim.Microsecond,
+	}
+}
+
+// TestSampledPayloadIndependentOfSharedRecorder is the cache-consistency
+// gate: a grid with Sample set produces byte-identical Results JSON
+// whether each point records privately (parallel pool) or a shared event
+// recorder spans the sweep (-trace; single worker, run counter spanning
+// all points). Result.Series rezeroes its run index to keep this true.
+func TestSampledPayloadIndependentOfSharedRecorder(t *testing.T) {
+	g := sampledGrid()
+	private, err := Run(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := sampledGrid()
+	g2.Trace = trace.New(trace.Config{Events: true, SampleEvery: g2.Sample})
+	shared, err := Run(g2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := private.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("Results JSON differs with a shared recorder attached:\nprivate: %s\nshared:  %s", a.Bytes(), b.Bytes())
+	}
+	if len(private) == 0 || len(private[0].Series) == 0 {
+		t.Fatal("sampling produced no series")
+	}
+	for _, s := range private[0].Series {
+		if s.Run != 0 {
+			t.Errorf("series run index not rezeroed: %+v", s)
+		}
+	}
+}
+
+// TestCanonicalKeepsSampleDropsTrace pins the cache-key discipline: the
+// sampling interval changes the payload and must survive Canonical; the
+// recorder is an execution knob and must not.
+func TestCanonicalKeepsSampleDropsTrace(t *testing.T) {
+	g := sampledGrid()
+	g.Trace = trace.New(trace.Config{Events: true})
+	c := g.Canonical()
+	if c.Sample != g.Sample {
+		t.Errorf("Canonical dropped Sample: %v", c.Sample)
+	}
+	if c.Trace != nil {
+		t.Error("Canonical kept the recorder; equal workloads would miss each other's cache entries")
+	}
+}

@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"openmxsim/internal/sim"
+)
+
+// WriteSeriesJSON writes the merged metric series as one JSON array. The
+// encoding is fully deterministic: equal runs yield byte-identical output
+// at any cluster parallelism.
+func (r *Recorder) WriteSeriesJSON(w io.Writer) error {
+	samples := r.Samples()
+	if samples == nil {
+		samples = []Sample{}
+	}
+	b, err := json.MarshalIndent(samples, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// seriesCSVHeader names the series columns, in Sample field order.
+var seriesCSVHeader = []string{
+	"run", "t_ns", "node", "interrupts", "coalesce_delay_ns", "packets_in",
+	"packets_out", "queue_frames", "port_drops", "ring_drops", "retransmits",
+	"backoffs", "give_ups", "pull_retries", "feedback_steps", "feedback_clamps",
+}
+
+// WriteSeriesCSV writes the merged metric series as CSV with a header row.
+func (r *Recorder) WriteSeriesCSV(w io.Writer) error {
+	bw := newLineWriter(w)
+	bw.fields(seriesCSVHeader...)
+	for _, s := range r.Samples() {
+		bw.fields(
+			strconv.Itoa(s.Run), strconv.FormatInt(int64(s.At), 10),
+			strconv.Itoa(s.Node), strconv.FormatUint(s.Interrupts, 10),
+			strconv.FormatInt(s.CoalesceDelayNS, 10),
+			strconv.FormatUint(s.PacketsIn, 10),
+			strconv.FormatUint(s.PacketsOut, 10),
+			strconv.Itoa(s.QueueFrames), strconv.FormatUint(s.PortDrops, 10),
+			strconv.FormatUint(s.RingDrops, 10),
+			strconv.FormatUint(s.Retransmits, 10),
+			strconv.FormatUint(s.Backoffs, 10),
+			strconv.FormatUint(s.GiveUps, 10),
+			strconv.FormatUint(s.PullRetries, 10),
+			strconv.FormatUint(s.FeedbackSteps, 10),
+			strconv.FormatUint(s.FeedbackClamps, 10),
+		)
+	}
+	return bw.err
+}
+
+// lineWriter is a minimal CSV emitter: every value this package writes is
+// numeric or a fixed identifier, so no quoting is ever needed and the
+// byte-for-byte output is trivially auditable.
+type lineWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newLineWriter(w io.Writer) *lineWriter { return &lineWriter{w: w} }
+
+func (lw *lineWriter) fields(cells ...string) {
+	if lw.err != nil {
+		return
+	}
+	for i, c := range cells {
+		if i > 0 {
+			if _, lw.err = io.WriteString(lw.w, ","); lw.err != nil {
+				return
+			}
+		}
+		if _, lw.err = io.WriteString(lw.w, c); lw.err != nil {
+			return
+		}
+	}
+	_, lw.err = io.WriteString(lw.w, "\n")
+}
+
+// WriteChromeTrace writes the recorded timeline in the Chrome trace-event
+// JSON format, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// discrete events become instant events ("ph":"i") and each metric sample
+// becomes counter tracks ("ph":"C") for the coalescing delay, the egress
+// queue depth, and the cumulative interrupt count. Runs map to pids,
+// nodes to tids, and timestamps are virtual microseconds formatted with
+// fixed precision, so the bytes are deterministic at any parallelism.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	ew := &errWriter{w: w}
+	ew.printf("{\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if first {
+			ew.printf("\n")
+			first = false
+		} else {
+			ew.printf(",\n")
+		}
+	}
+	runs := 0
+	if r != nil {
+		runs = len(r.runs)
+	}
+	for run := 0; run < runs; run++ {
+		sep()
+		ew.printf("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"run %d\"}}", run, run)
+		for _, rec := range mergeTimeline(r.runs[run].nodes) {
+			if rec.ev != nil {
+				e := rec.ev
+				sep()
+				ew.printf("{\"name\":%q,\"cat\":\"sim\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{%s}}",
+					e.Name, tsUS(e.At), e.Run, e.Node, eventArgs(*e))
+				continue
+			}
+			s := rec.sm
+			sep()
+			ew.printf("{\"name\":\"coalesce_delay_us\",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"value\":%s}}",
+				tsUS(s.At), s.Run, s.Node, tsUS(s.CoalesceDelayNS))
+			sep()
+			ew.printf("{\"name\":\"queue_frames\",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"value\":%d}}",
+				tsUS(s.At), s.Run, s.Node, s.QueueFrames)
+			sep()
+			ew.printf("{\"name\":\"interrupts\",\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"value\":%d}}",
+				tsUS(s.At), s.Run, s.Node, s.Interrupts)
+		}
+	}
+	ew.printf("\n]}\n")
+	return ew.err
+}
+
+// eventArgs renders an event's argument object.
+func eventArgs(e Event) string {
+	if e.Kind == EvIRQ && e.Arg >= 0 && int(e.Arg) < len(irqCauseNames) {
+		return fmt.Sprintf("\"cause\":%q", irqCauseNames[e.Arg])
+	}
+	return fmt.Sprintf("\"arg\":%d", e.Arg)
+}
+
+// tsUS formats a nanosecond virtual timestamp (or duration) as fixed
+// 3-decimal microseconds — never via float printing, whose shortest-form
+// rounding would be a determinism hazard hiding in an exporter.
+func tsUS[T ~int64](ns T) string {
+	return fmt.Sprintf("%d.%03d", int64(ns)/1000, int64(ns)%1000)
+}
+
+// timelineRec is one merged element: exactly one of ev/sm is set.
+type timelineRec struct {
+	ev *Event
+	sm *Sample
+}
+
+// mergeTimeline interleaves one run's events and samples into the
+// canonical (time, node, seq) order. The per-node sequence counter is
+// shared between events and samples, so the interleave is total. Node
+// order breaks timestamp ties: the scan visits nodes in ascending order
+// and only a strictly earlier timestamp displaces the current best.
+func mergeTimeline(nodes []*Node) []timelineRec {
+	type cursor struct{ ei, si int }
+	cur := make([]cursor, len(nodes))
+	total := 0
+	for _, n := range nodes {
+		total += len(n.events) + len(n.samples)
+	}
+	out := make([]timelineRec, 0, total)
+	// head returns node ni's next record timestamp and kind, or ok=false
+	// when the node is drained. Within a node the shared seq counter
+	// decides event-vs-sample order.
+	head := func(ni int) (at sim.Time, isEv bool, ok bool) {
+		n, c := nodes[ni], cur[ni]
+		hasE, hasS := c.ei < len(n.events), c.si < len(n.samples)
+		switch {
+		case hasE && (!hasS || n.events[c.ei].seq < n.samples[c.si].seq):
+			return n.events[c.ei].At, true, true
+		case hasS:
+			return n.samples[c.si].At, false, true
+		}
+		return 0, false, false
+	}
+	for len(out) < total {
+		best := -1
+		var bestAt sim.Time
+		bestEv := false
+		for ni := range nodes {
+			at, isEv, ok := head(ni)
+			if !ok {
+				continue
+			}
+			if best < 0 || at < bestAt {
+				best, bestAt, bestEv = ni, at, isEv
+			}
+		}
+		n := nodes[best]
+		if bestEv {
+			out = append(out, timelineRec{ev: &n.events[cur[best].ei]})
+			cur[best].ei++
+		} else {
+			out = append(out, timelineRec{sm: &n.samples[cur[best].si]})
+			cur[best].si++
+		}
+	}
+	return out
+}
+
+// errWriter accumulates the first write error of a formatted dump.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
